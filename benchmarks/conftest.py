@@ -1,0 +1,43 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each ``bench_*.py`` module regenerates one experiment from DESIGN.md
+section 3.  The pattern:
+
+* the sweep (the actual CONGEST simulations) runs once under
+  ``benchmark.pedantic(..., rounds=1)`` so pytest-benchmark records its
+  wall time without re-running a multi-second simulation dozens of times;
+* the sweep's :class:`~repro.analysis.records.ExperimentReport` is
+  asserted against the paper's bounds and registered here;
+* at session end every registered report is rendered to
+  ``benchmarks/last_run_reports.txt`` -- the source for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+import pytest
+
+from repro.analysis import ExperimentReport, render_report
+
+_REPORTS: List[ExperimentReport] = []
+_OUTPUT = Path(__file__).parent / "last_run_reports.txt"
+
+
+def record_report(report: ExperimentReport) -> ExperimentReport:
+    _REPORTS.append(report)
+    return report
+
+
+@pytest.fixture
+def report_sink():
+    return record_report
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _REPORTS:
+        return
+    _REPORTS.sort(key=lambda r: r.experiment)
+    text = "\n\n".join(render_report(r) for r in _REPORTS) + "\n"
+    _OUTPUT.write_text(text)

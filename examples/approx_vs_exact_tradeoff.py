@@ -1,0 +1,31 @@
+"""Exact vs (1+eps)-approximate APSP: the rounds-for-accuracy trade.
+
+Theorem I.5 gives a deterministic (1+eps)-approximation that handles
+zero-weight edges.  This example measures, on a zero-heavy clustered
+network, how the approximate algorithm's round count and worst-case
+error move with eps, next to the exact pipelined algorithm.
+
+Run:  python examples/approx_vs_exact_tradeoff.py
+"""
+
+from repro.core import apsp, run_approx_apsp, verify_approx_ratio
+from repro.graphs import zero_cluster_graph
+
+g = zero_cluster_graph(4, 3, link_weight_max=9, seed=23)
+print(f"network: {g}\n")
+
+exact = apsp(g, method="pipelined")
+print(f"{'exact (Alg 1)':>16}: {exact.metrics.rounds:5d} rounds, ratio 1.0000")
+
+for eps in (2.0, 1.0, 0.5):
+    res = run_approx_apsp(g, eps)
+    worst = verify_approx_ratio(g, res)  # raises if the guarantee broke
+    print(f"{f'approx eps={eps}':>16}: {res.metrics.rounds:5d} rounds, "
+          f"worst measured ratio {worst:.4f} "
+          f"(guarantee <= {1 + eps}), {res.scales} scales")
+
+print("""
+Reading the table: the guarantee weakens (and the scale runs get
+cheaper) as eps grows; zero-distance pairs are always exact because the
+algorithm resolves them by zero-weight reachability before any scaling
+(Section IV, step 1).""")

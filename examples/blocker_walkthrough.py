@@ -1,0 +1,46 @@
+"""Blocker sets, step by step (paper, Section III-B).
+
+Builds an h-hop CSSSP collection on a caterpillar graph (a path with
+pendant legs -- lots of depth-h root-to-leaf paths), prints the greedy
+scores, and walks the distributed greedy selection: argmax convergecast,
+ancestor updates along the Lemma III.7 in-tree, Algorithm 4 descendant
+updates along the Lemma III.6 out-tree.
+
+Run:  python examples/blocker_walkthrough.py
+"""
+
+from repro.core import build_csssp, compute_blocker_set, tree_scores
+from repro.graphs import caterpillar_graph
+
+g = caterpillar_graph(6, 2, w_max=3, seed=13)
+h = 2
+sources = list(range(g.n))
+print(f"caterpillar: {g.n} nodes (spine 6, 2 legs each), h = {h}, "
+      f"sources = all\n")
+
+coll = build_csssp(g, sources, h)
+coll.check_consistency()
+paths = sum(len(coll.leaves_at_depth_h(x)) for x in coll.sources)
+print(f"CSSSP built in {coll.metrics.rounds} rounds "
+      f"(bound {coll.round_bound}); {paths} depth-{h} root-to-leaf paths "
+      "must be covered\n")
+
+scores = tree_scores(coll, covered=set())
+totals = sorted(((sum(sc.values()), v) for v, sc in scores.items()),
+                reverse=True)
+print("initial greedy scores (top 6):")
+for s, v in totals[:6]:
+    print(f"  node {v:2d}: lies on {s} uncovered paths")
+
+res = compute_blocker_set(g, coll)
+print(f"\ngreedy blocker set: {res.blockers} "
+      f"(bound {res.size_bound:.1f} nodes)")
+print("distributed phases (rounds):")
+for phase, rounds in res.phase_rounds.items():
+    print(f"  {phase:22s} {rounds}")
+print(f"\nAlgorithm 4's slowest descendant-update wave: "
+      f"{res.alg4_max_rounds} rounds "
+      f"(Lemma III.8 bound: k + h - 1 = {res.alg4_round_bound})")
+print("\nevery depth-h path is now covered (verified inside "
+      "compute_blocker_set's test harness); Algorithm 3 continues with "
+      "one exact SSSP per blocker node and a local combine.")

@@ -1,0 +1,38 @@
+"""Running k algorithms at once: time-slicing vs FIFO multiplexing.
+
+Section II-C composes n short-range instances with Ghaffari's randomized
+framework [10], whose promise is ~(dilation + congestion log n) rounds
+instead of the trivial k * dilation.  This example measures the library's
+two deterministic stand-ins on a shared network:
+
+* time-sliced: provably identical per-instance behaviour, k * dilation
+  physical rounds (the baseline the framework beats);
+* FIFO multiplexer: work-conserving, measured rounds typically *below*
+  the dilation + congestion envelope.
+
+Run:  python examples/composition_schedulers.py
+"""
+
+from repro.core import run_k_source_short_range_concurrent
+from repro.graphs import random_graph
+
+g = random_graph(18, p=0.25, w_max=4, zero_fraction=0.4, seed=29)
+h = 6
+print(f"network: {g}, short-range hop radius h = {h}\n")
+print(f"{'k':>3} | {'timesliced':>11} | {'FIFO':>6} | {'envelope D+C':>13}")
+print("-" * 44)
+for k in (2, 4, 6, 9):
+    sources = list(range(0, g.n, max(1, g.n // k)))[:k]
+    _, _, fifo = run_k_source_short_range_concurrent(g, sources, h,
+                                                     mode="fifo")
+    print(f"{len(sources):>3} | {int(fifo['timesliced_cost']):>11} | "
+          f"{int(fifo['physical_rounds']):>6} | "
+          f"{int(fifo['composition_envelope']):>13}")
+
+print("""
+Both schedulers produce bit-identical per-instance outputs (tested in
+tests/test_scheduler.py); only the physical round counts differ.  The
+FIFO column growing far slower than k * dilation is the entire point of
+composing instances -- and the mechanism behind the paper's h-hop APSP
+('by running this algorithm using each vertex as source ... in
+O(dilation + n * congestion) rounds').""")

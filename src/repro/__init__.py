@@ -1,0 +1,12 @@
+"""repro -- reproduction of Agarwal & Ramachandran, *Distributed Weighted
+All Pairs Shortest Paths Through Pipelining* (IPDPS 2019).
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+__version__ = "1.0.0"
+
+from . import bounds, congest, core, graphs
+
+__all__ = ["bounds", "congest", "core", "graphs", "__version__"]

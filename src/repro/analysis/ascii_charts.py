@@ -1,0 +1,69 @@
+"""Dependency-free ASCII charts for round-complexity curves.
+
+The paper's results are scaling laws; a monospace scatter of measured
+rounds against the bound curve communicates the "shape" claims
+(EXPERIMENTS.md, examples) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], *, width: Optional[int] = None) -> str:
+    """A one-line bar sparkline of *values* (non-negative)."""
+    if not values:
+        return ""
+    vals = list(values)
+    if width and len(vals) > width:
+        # downsample by taking bucket maxima
+        bucket = len(vals) / width
+        vals = [max(vals[int(i * bucket):max(int(i * bucket) + 1,
+                                             int((i + 1) * bucket))])
+                for i in range(width)]
+    top = max(vals) or 1.0
+    chars = "▁▂▃▄▅▆▇█"
+    return "".join(chars[min(len(chars) - 1,
+                             int(v / top * (len(chars) - 1)))] for v in vals)
+
+
+def xy_chart(series: Dict[str, List[Tuple[float, float]]], *,
+             width: int = 60, height: int = 16,
+             title: str = "", xlabel: str = "", ylabel: str = "") -> str:
+    """A multi-series scatter chart; each series gets one marker."""
+    markers = "ox+*#@%&"
+    pts = [(x, y) for s in series.values() for x, y in s]
+    if not pts:
+        return title
+    xs, ys = [p[0] for p in pts], [p[1] for p in pts]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xspan = (x1 - x0) or 1.0
+    yspan = (y1 - y0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for mi, (name, data) in enumerate(series.items()):
+        mark = markers[mi % len(markers)]
+        for x, y in data:
+            c = min(width - 1, int((x - x0) / xspan * (width - 1)))
+            r = min(height - 1, int((y - y0) / yspan * (height - 1)))
+            grid[height - 1 - r][c] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(f"{markers[i % len(markers)]} = {name}"
+                        for i, name in enumerate(series))
+    lines.append(legend)
+    ytop, ybot = f"{y1:g}", f"{y0:g}"
+    pad = max(len(ytop), len(ybot), len(ylabel))
+    for i, row in enumerate(grid):
+        label = ytop if i == 0 else (ybot if i == height - 1 else
+                                     (ylabel if i == height // 2 else ""))
+        lines.append(f"{label:>{pad}} |" + "".join(row))
+    lines.append(" " * pad + " +" + "-" * width)
+    xline = f"{x0:g}" + " " * max(1, width - len(f"{x0:g}") - len(f"{x1:g}")) + f"{x1:g}"
+    lines.append(" " * pad + "  " + xline)
+    if xlabel:
+        lines.append(" " * pad + "  " + xlabel.center(width))
+    return "\n".join(lines)

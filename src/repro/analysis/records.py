@@ -1,0 +1,70 @@
+"""Measurement records for the benchmark harness.
+
+Each experiment produces a list of :class:`Measurement` rows -- a
+parameter point, a measured quantity, and the theoretical bound it is
+checked against -- which the table renderer turns into the EXPERIMENTS.md
+tables.  Keeping this as plain data (no printing in the experiment code)
+lets the same sweep feed pytest assertions and human-readable reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class Measurement:
+    """One measured point of one experiment."""
+
+    experiment: str
+    params: Dict[str, Any]
+    measured: float
+    bound: Optional[float] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.bound is None or self.bound == 0:
+            return None
+        return self.measured / self.bound
+
+    @property
+    def within_bound(self) -> Optional[bool]:
+        if self.bound is None:
+            return None
+        return self.measured <= self.bound
+
+
+@dataclass
+class ExperimentReport:
+    """All measurements of one experiment plus summary helpers."""
+
+    experiment: str
+    description: str
+    rows: List[Measurement] = field(default_factory=list)
+
+    def add(self, params: Dict[str, Any], measured: float,
+            bound: Optional[float] = None, **extra: Any) -> Measurement:
+        m = Measurement(self.experiment, dict(params), measured, bound, dict(extra))
+        self.rows.append(m)
+        return m
+
+    @property
+    def all_within_bound(self) -> bool:
+        return all(m.within_bound is not False for m in self.rows)
+
+    @property
+    def max_ratio(self) -> Optional[float]:
+        ratios = [m.ratio for m in self.rows if m.ratio is not None]
+        return max(ratios) if ratios else None
+
+    def assert_within_bounds(self) -> None:
+        bad = [m for m in self.rows if m.within_bound is False]
+        if bad:
+            lines = "\n".join(
+                f"  {m.params}: measured={m.measured} > bound={m.bound}"
+                for m in bad)
+            raise AssertionError(
+                f"{self.experiment}: {len(bad)} measurements exceed their "
+                f"bound:\n{lines}")

@@ -1,0 +1,160 @@
+"""Parameter sweeps shared by the benchmark modules.
+
+Each benchmark (one per experiment id in DESIGN.md section 3) calls one
+of these functions; they run the actual CONGEST simulations, collect
+:class:`~repro.analysis.records.Measurement` rows, and leave asserting /
+rendering to the caller.  Workload sizes are chosen so a full benchmark
+run stays in the tens of seconds while still spanning enough of each
+parameter to expose the bound's *shape*.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+from .. import bounds as bounds_mod
+from ..core import (
+    run_apsp,
+    run_apsp_blocker,
+    run_bellman_ford_apsp,
+    run_hk_ssp,
+    run_k_ssp,
+    run_short_range,
+)
+from ..graphs import random_graph, zero_cluster_graph
+from .records import ExperimentReport
+
+
+def sweep_theorem11_hk_ssp(*, seeds: Sequence[int] = (0, 1),
+                           sizes: Sequence[int] = (12, 18, 24),
+                           report: Optional[ExperimentReport] = None
+                           ) -> ExperimentReport:
+    """E1: measured Algorithm 1 rounds vs Theorem I.1(i)'s bound over
+    (n, h, k) combinations on zero-heavy random digraphs."""
+    rep = report or ExperimentReport(
+        "E1", "Theorem I.1(i): (h,k)-SSP rounds <= 2*sqrt(Delta h k)+h+k")
+    for seed in seeds:
+        for n in sizes:
+            g = random_graph(n, p=0.25, w_max=6, zero_fraction=0.3, seed=seed)
+            for h in (max(1, n // 4), max(1, n // 2), n - 1):
+                for k in (1, max(1, n // 3), n):
+                    srcs = list(range(0, n, max(1, n // k)))[:k]
+                    res = run_hk_ssp(g, srcs, h)
+                    rep.add({"seed": seed, "n": n, "h": h, "k": len(srcs),
+                             "Delta": res.delta},
+                            measured=res.last_sp_update_round,
+                            bound=res.round_bound,
+                            total_rounds=res.metrics.rounds)
+    return rep
+
+
+def sweep_theorem11_apsp(*, seeds: Sequence[int] = (0, 1, 2),
+                         sizes: Sequence[int] = (8, 16, 24, 32, 48),
+                         report: Optional[ExperimentReport] = None
+                         ) -> ExperimentReport:
+    """E2: APSP rounds vs ``2 n sqrt(Delta) + 2 n``."""
+    rep = report or ExperimentReport(
+        "E2", "Theorem I.1(ii): APSP rounds <= 2*n*sqrt(Delta)+2*n")
+    for seed in seeds:
+        for n in sizes:
+            g = random_graph(n, p=min(0.25, 6.0 / n), w_max=5,
+                             zero_fraction=0.3, seed=seed)
+            res = run_apsp(g)
+            rep.add({"seed": seed, "n": n, "Delta": res.delta},
+                    measured=res.metrics.rounds,
+                    bound=bounds_mod.theorem11_apsp(n, res.delta),
+                    last_sp=res.last_sp_update_round)
+    return rep
+
+
+def sweep_theorem11_kssp(*, seeds: Sequence[int] = (0, 1),
+                         sizes: Sequence[int] = (12, 20, 28),
+                         report: Optional[ExperimentReport] = None
+                         ) -> ExperimentReport:
+    """E3: k-SSP rounds vs ``2 sqrt(Delta k n) + n + k``."""
+    rep = report or ExperimentReport(
+        "E3", "Theorem I.1(iii): k-SSP rounds <= 2*sqrt(Delta k n)+n+k")
+    for seed in seeds:
+        for n in sizes:
+            g = random_graph(n, p=0.25, w_max=5, zero_fraction=0.3, seed=seed)
+            for k in (1, max(2, n // 4), max(3, n // 2)):
+                srcs = list(range(k))
+                res = run_k_ssp(g, srcs)
+                rep.add({"seed": seed, "n": n, "k": k, "Delta": res.delta},
+                        measured=res.metrics.rounds,
+                        bound=bounds_mod.theorem11_k_ssp(n, k, res.delta))
+    return rep
+
+
+def sweep_invariants(*, seeds: Sequence[int] = tuple(range(6)),
+                     report: Optional[ExperimentReport] = None
+                     ) -> ExperimentReport:
+    """E4: Invariant 2's per-source list bound (sqrt(Delta h / k) + 1)
+    and the one-send-per-round property (asserted inside the program)."""
+    rep = report or ExperimentReport(
+        "E4", "Invariant 2: per-source entries <= sqrt(Delta*h/k)+1 "
+              "(budget-enforced; measured max shown)")
+    for seed in seeds:
+        n = 10 + 2 * (seed % 4)
+        g = random_graph(n, p=0.3, w_max=6, zero_fraction=0.35, seed=seed)
+        h = max(2, n // 2)
+        srcs = list(range(0, n, 2))
+        res = run_hk_ssp(g, srcs, h)
+        bound = math.sqrt(res.delta * h / len(srcs)) + 1
+        rep.add({"seed": seed, "n": n, "h": h, "k": len(srcs),
+                 "Delta": res.delta},
+                measured=res.max_entries_per_source,
+                # the budget allows floor(sqrt(Delta h/k)) + 1, plus the
+                # flag-d* entry that is never evicted: +1 slack
+                bound=math.floor(bound) + 1,
+                paper_bound=round(bound, 2),
+                max_list_len=res.max_list_len)
+    return rep
+
+
+def sweep_short_range(*, seeds: Sequence[int] = (0, 1, 2),
+                      sizes: Sequence[int] = (10, 16, 22),
+                      report: Optional[ExperimentReport] = None
+                      ) -> Tuple[ExperimentReport, ExperimentReport]:
+    """E5: short-range dilation and congestion vs Lemma II.15."""
+    rep_d = ExperimentReport(
+        "E5a", "Lemma II.15 dilation: rounds <= ceil(Delta*sqrt(h)+h)+2")
+    rep_c = ExperimentReport(
+        "E5b", "Lemma II.15 congestion: per-node sends <= sqrt(h)+1")
+    for seed in seeds:
+        for n in sizes:
+            g = random_graph(n, p=0.25, w_max=4, zero_fraction=0.4, seed=seed)
+            for h in (2, max(2, n // 3), n - 1):
+                res = run_short_range(g, seed % n, h)
+                rep_d.add({"seed": seed, "n": n, "h": h, "Delta": res.delta},
+                          measured=res.metrics.rounds, bound=res.dilation_bound)
+                rep_c.add({"seed": seed, "n": n, "h": h},
+                          measured=res.max_node_sends, bound=res.congestion_bound)
+    if report is not None:  # pragma: no cover - convenience
+        report.rows.extend(rep_d.rows + rep_c.rows)
+    return rep_d, rep_c
+
+
+def sweep_table1_exact(*, seeds: Sequence[int] = (0, 1),
+                       sizes: Sequence[int] = (8, 12, 16),
+                       report: Optional[ExperimentReport] = None
+                       ) -> ExperimentReport:
+    """E11: the Table I head-to-head -- measured rounds of Bellman-Ford
+    APSP vs Algorithm 1 vs Algorithm 3 on common workloads."""
+    rep = report or ExperimentReport(
+        "E11", "Table I (exact APSP): measured rounds per algorithm")
+    for seed in seeds:
+        for n in sizes:
+            g = zero_cluster_graph(max(2, n // 4), 4, link_weight_max=6,
+                                   seed=seed)
+            bf = run_bellman_ford_apsp(g)
+            a1 = run_apsp(g)
+            a3 = run_apsp_blocker(g)
+            rep.add({"seed": seed, "n": g.n, "algorithm": "bellman-ford"},
+                    measured=bf.metrics.rounds)
+            rep.add({"seed": seed, "n": g.n, "algorithm": "pipelined (Alg 1)"},
+                    measured=a1.metrics.rounds, bound=a1.round_bound)
+            rep.add({"seed": seed, "n": g.n, "algorithm": "blocker (Alg 3)"},
+                    measured=a3.metrics.rounds)
+    return rep

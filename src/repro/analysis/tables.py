@@ -1,0 +1,89 @@
+"""Plain-text table rendering for benchmark output and EXPERIMENTS.md.
+
+No plotting dependencies: the paper's "figures" are round-complexity
+curves, which render perfectly well as monospace tables (and the shape
+checks -- who wins, where crossovers fall -- are assertions, not
+pictures).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+from .records import ExperimentReport
+
+
+def format_value(v: Any) -> str:
+    """Compact cell rendering: ints bare, floats to 3 significant digits,
+    NaN as '-'."""
+    if isinstance(v, float):
+        if v != v:  # NaN
+            return "-"
+        if v == int(v) and abs(v) < 1e9:
+            return str(int(v))
+        return f"{v:.3g}"
+    return str(v)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 *, title: Optional[str] = None) -> str:
+    """Column-aligned monospace table of *rows* under *headers*."""
+    srows = [[format_value(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in srows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def render_report(report: ExperimentReport) -> str:
+    """Render an experiment report as params | measured | bound | ratio."""
+    param_keys: List[str] = []
+    for m in report.rows:
+        for k in m.params:
+            if k not in param_keys:
+                param_keys.append(k)
+    extra_keys: List[str] = []
+    for m in report.rows:
+        for k in m.extra:
+            if k not in extra_keys:
+                extra_keys.append(k)
+    headers = param_keys + ["measured", "bound", "ratio", "ok"] + extra_keys
+    rows = []
+    for m in report.rows:
+        rows.append(
+            [m.params.get(k, "") for k in param_keys]
+            + [m.measured,
+               m.bound if m.bound is not None else "-",
+               m.ratio if m.ratio is not None else "-",
+               {True: "yes", False: "NO", None: "-"}[m.within_bound]]
+            + [m.extra.get(k, "") for k in extra_keys])
+    return render_table(headers, rows,
+                        title=f"== {report.experiment}: {report.description} ==")
+
+
+def render_markdown(report: ExperimentReport) -> str:
+    """GitHub-flavoured markdown table of a report (for EXPERIMENTS.md)."""
+    param_keys: List[str] = []
+    for m in report.rows:
+        for k in m.params:
+            if k not in param_keys:
+                param_keys.append(k)
+    headers = param_keys + ["measured", "bound", "ratio"]
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for m in report.rows:
+        cells = [format_value(m.params.get(k, "")) for k in param_keys]
+        cells += [format_value(m.measured),
+                  format_value(m.bound) if m.bound is not None else "-",
+                  format_value(m.ratio) if m.ratio is not None else "-"]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

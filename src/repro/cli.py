@@ -1,0 +1,328 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands operate on graph files in the plain-text format of
+:mod:`repro.graphs.io` so runs are scriptable and reproducible:
+
+* ``gen``   -- generate a graph file from one of the seeded families;
+* ``info``  -- print a graph's basic quantities (n, m, W, Delta, ...);
+* ``apsp``  -- exact APSP with any implemented method + round report;
+* ``kssp``  -- exact k-source shortest paths;
+* ``hkssp`` -- the (h, k)-SSP problem (the paper's weak contract);
+* ``approx``-- (1+eps)-approximate APSP;
+* ``bounds``-- evaluate the paper's bound formulas for given parameters;
+* ``bench`` -- run one of the experiment sweeps (E1-E17) and print its
+  measured-vs-bound table;
+* ``explain``-- replay how one node learned its distance from one source.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from . import bounds as bounds_mod
+from .core import (
+    apsp as api_apsp,
+    k_ssp as api_kssp,
+    run_approx_apsp,
+    run_hk_ssp,
+    run_scaling_apsp,
+    verify_approx_ratio,
+)
+from .graphs import io as gio
+from .graphs import (
+    bounded_distance_graph,
+    eccentricity_bound,
+    max_min_hops,
+    random_graph,
+    shortest_path_diameter,
+    zero_cluster_graph,
+)
+
+INF = float("inf")
+
+
+def _fmt(d: float) -> str:
+    return "-" if d == INF else str(int(d))
+
+
+def _print_distances(dist, sources: Sequence[int], n: int, out) -> None:
+    for x in sources:
+        out.write(f"{x}: " + " ".join(_fmt(dist[x][v]) for v in range(n)) + "\n")
+
+
+def _metrics_report(metrics, out, bound: Optional[float] = None) -> None:
+    out.write(f"rounds: {metrics.rounds}\n")
+    if bound is not None:
+        out.write(f"bound : {bound}\n")
+    out.write(f"messages: {metrics.messages}, "
+              f"max message words: {metrics.max_message_words}, "
+              f"max edge congestion: {metrics.max_edge_congestion}\n")
+
+
+def cmd_gen(args, out) -> int:
+    if args.family == "random":
+        g = random_graph(args.n, p=args.p, w_max=args.w_max,
+                         zero_fraction=args.zero_fraction,
+                         directed=not args.undirected, seed=args.seed)
+    elif args.family == "zero-cluster":
+        size = max(2, args.n // max(1, args.clusters))
+        g = zero_cluster_graph(args.clusters, size,
+                               link_weight_max=max(1, args.w_max),
+                               seed=args.seed)
+        if g.n != args.n:
+            sys.stderr.write(
+                f"note: zero-cluster rounds to {args.clusters} clusters x "
+                f"{size} nodes = {g.n} (requested n={args.n})\n")
+    elif args.family == "bounded-distance":
+        g = bounded_distance_graph(args.n, max(1, args.delta), seed=args.seed)
+    else:
+        raise SystemExit(f"unknown family {args.family!r}")
+    text = gio.dumps(g)
+    if args.output:
+        gio.save(g, args.output)
+        out.write(f"wrote {args.output} ({g.n} nodes, {g.m} edges)\n")
+    else:
+        out.write(text)
+    return 0
+
+
+def cmd_info(args, out) -> int:
+    g = gio.load(args.graph)
+    out.write(f"nodes: {g.n}\nedges: {g.m}\n")
+    out.write(f"directed: {g.directed}\nmax weight W: {g.max_weight}\n")
+    zeros = sum(1 for _, _, w in g.edges() if w == 0)
+    out.write(f"zero-weight edges: {zeros} ({100 * zeros / max(1, g.m):.0f}%)\n")
+    out.write(f"comm connected: {g.is_comm_connected()}\n")
+    out.write(f"shortest-path diameter Delta: {shortest_path_diameter(g)}\n")
+    out.write(f"shortest-path hop diameter: {max_min_hops(g)}\n")
+    out.write(f"comm hop diameter: {eccentricity_bound(g)}\n")
+    return 0
+
+
+def cmd_apsp(args, out) -> int:
+    g = gio.load(args.graph)
+    if args.method == "scaling":
+        res = run_scaling_apsp(g)
+        _metrics_report(res.metrics, out)
+        if not args.quiet:
+            _print_distances(res.dist, range(g.n), g.n, out)
+        return 0
+    res = api_apsp(g, method=args.method)
+    bound = getattr(res, "round_bound", None)
+    _metrics_report(res.metrics, out, bound)
+    if not args.quiet:
+        _print_distances(res.dist, range(g.n), g.n, out)
+    return 0
+
+
+def cmd_kssp(args, out) -> int:
+    g = gio.load(args.graph)
+    sources = [int(s) for s in args.sources.split(",")]
+    res = api_kssp(g, sources, method=args.method)
+    _metrics_report(res.metrics, out, getattr(res, "round_bound", None))
+    if not args.quiet:
+        _print_distances(res.dist, sources, g.n, out)
+    return 0
+
+
+def cmd_hkssp(args, out) -> int:
+    g = gio.load(args.graph)
+    sources = [int(s) for s in args.sources.split(",")]
+    res = run_hk_ssp(g, sources, args.hops)
+    out.write(f"(h={args.hops}, k={res.k})-SSP, Delta={res.delta}, "
+              f"gamma={res.gamma:.4f}\n")
+    _metrics_report(res.metrics, out, res.round_bound)
+    if not args.quiet:
+        _print_distances(res.dist, res.sources, g.n, out)
+    return 0
+
+
+def cmd_approx(args, out) -> int:
+    g = gio.load(args.graph)
+    res = run_approx_apsp(g, args.eps)
+    _metrics_report(res.metrics, out)
+    if args.verify:
+        worst = verify_approx_ratio(g, res)
+        out.write(f"worst measured ratio: {worst:.4f} "
+                  f"(guarantee <= {1 + args.eps})\n")
+    if not args.quiet:
+        for x in range(g.n):
+            out.write(f"{x}: " + " ".join(
+                "-" if d == INF else f"{d:.2f}" for d in res.dist[x]) + "\n")
+    return 0
+
+
+def cmd_bench(args, out) -> int:
+    from .analysis import render_report
+    from .analysis import sweep as sweep_mod
+    from .analysis import experiments as exp_mod
+
+    registry = {
+        "E1": lambda: [sweep_mod.sweep_theorem11_hk_ssp()],
+        "E2": lambda: [sweep_mod.sweep_theorem11_apsp()],
+        "E3": lambda: [sweep_mod.sweep_theorem11_kssp()],
+        "E4": lambda: [sweep_mod.sweep_invariants()],
+        "E5": lambda: list(sweep_mod.sweep_short_range()),
+        "E6": lambda: [exp_mod.sweep_csssp()],
+        "E7": lambda: list(exp_mod.sweep_blocker()),
+        "E8": lambda: [exp_mod.sweep_theorem12()],
+        "E9": lambda: [exp_mod.sweep_theorem13()],
+        "E10": lambda: [exp_mod.sweep_corollary14_crossover()],
+        "E11": lambda: [sweep_mod.sweep_table1_exact()],
+        "E12": lambda: [exp_mod.sweep_table1_approx()],
+        "E13": lambda: list(exp_mod.sweep_unweighted_baseline()),
+        "E14": lambda: [exp_mod.sweep_ablation_key_schedule()],
+        "E15": lambda: [exp_mod.sweep_extension_scaling()],
+        "E16": lambda: [exp_mod.sweep_random_vs_deterministic()],
+        "E17": lambda: list(exp_mod.sweep_ksource_short_range()),
+    }
+    key = args.experiment.upper()
+    if key == "ALL":
+        keys = sorted(registry, key=lambda k: int(k[1:]))
+    elif key in registry:
+        keys = [key]
+    else:
+        raise SystemExit(
+            f"unknown experiment {args.experiment!r}; pick one of "
+            f"{', '.join(sorted(registry, key=lambda k: int(k[1:])))} or 'all'")
+    rc = 0
+    for k in keys:
+        for rep in registry[k]():
+            out.write(render_report(rep) + "\n\n")
+            if not rep.all_within_bound:
+                out.write(f"WARNING: {rep.experiment} has bound violations\n")
+                rc = 1
+    return rc
+
+
+def cmd_explain(args, out) -> int:
+    from .analysis import explain_pair
+
+    g = gio.load(args.graph)
+    story = explain_pair(g, args.source, args.node,
+                         args.hops if args.hops else g.n - 1)
+    out.write(story.render() + "\n")
+    return 0
+
+
+def cmd_bounds(args, out) -> int:
+    n, k, h = args.n, args.k if args.k else args.n, args.hops if args.hops else args.n
+    delta, w = args.delta, args.w_max
+    out.write(f"n={n} k={k} h={h} Delta={delta} W={w}\n")
+    out.write(f"Theorem I.1(i)  (h,k)-SSP : "
+              f"{bounds_mod.theorem11_hk_ssp(h, k, delta)}\n")
+    out.write(f"Theorem I.1(ii) APSP      : {bounds_mod.theorem11_apsp(n, delta)}\n")
+    out.write(f"Theorem I.1(iii) k-SSP    : {bounds_mod.theorem11_k_ssp(n, k, delta)}\n")
+    out.write(f"Theorem I.2(i)  APSP      : {bounds_mod.theorem12_apsp(n, w):.1f}\n")
+    out.write(f"Theorem I.3(i)  APSP      : {bounds_mod.theorem13_apsp(n, delta):.1f}\n")
+    out.write(f"optimal h (Thm I.2)       : "
+              f"{bounds_mod.optimal_h_weight_bounded(n, k, w)}\n")
+    out.write(f"optimal h (Thm I.3)       : "
+              f"{bounds_mod.optimal_h_distance_bounded(n, k, delta)}\n")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="CONGEST-model weighted shortest paths "
+                    "(Agarwal & Ramachandran, IPDPS 2019 reproduction)")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("gen", help="generate a graph file")
+    g.add_argument("--family", default="random",
+                   choices=["random", "zero-cluster", "bounded-distance"])
+    g.add_argument("-n", type=int, default=16)
+    g.add_argument("--p", type=float, default=0.3)
+    g.add_argument("--w-max", type=int, default=8)
+    g.add_argument("--zero-fraction", type=float, default=0.3)
+    g.add_argument("--clusters", type=int, default=4)
+    g.add_argument("--delta", type=int, default=16)
+    g.add_argument("--undirected", action="store_true")
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("-o", "--output")
+    g.set_defaults(func=cmd_gen)
+
+    i = sub.add_parser("info", help="summarize a graph file")
+    i.add_argument("graph")
+    i.set_defaults(func=cmd_info)
+
+    a = sub.add_parser("apsp", help="exact all-pairs shortest paths")
+    a.add_argument("graph")
+    a.add_argument("--method", default="auto",
+                   choices=["auto", "pipelined", "blocker", "bellman-ford",
+                            "scaling"])
+    a.add_argument("-q", "--quiet", action="store_true",
+                   help="metrics only, no distance matrix")
+    a.set_defaults(func=cmd_apsp)
+
+    k = sub.add_parser("kssp", help="k-source shortest paths")
+    k.add_argument("graph")
+    k.add_argument("--sources", required=True, help="comma-separated ids")
+    k.add_argument("--method", default="auto",
+                   choices=["auto", "pipelined", "blocker", "bellman-ford"])
+    k.add_argument("-q", "--quiet", action="store_true")
+    k.set_defaults(func=cmd_kssp)
+
+    hk = sub.add_parser("hkssp", help="(h,k)-SSP (the paper's weak contract)")
+    hk.add_argument("graph")
+    hk.add_argument("--sources", required=True)
+    hk.add_argument("--hops", type=int, required=True)
+    hk.add_argument("-q", "--quiet", action="store_true")
+    hk.set_defaults(func=cmd_hkssp)
+
+    ap = sub.add_parser("approx", help="(1+eps)-approximate APSP")
+    ap.add_argument("graph")
+    ap.add_argument("--eps", type=float, default=1.0)
+    ap.add_argument("--verify", action="store_true",
+                    help="check the ratio against Dijkstra")
+    ap.add_argument("-q", "--quiet", action="store_true")
+    ap.set_defaults(func=cmd_approx)
+
+    be = sub.add_parser("bench", help="run an experiment sweep (E1-E14 or all)")
+    be.add_argument("experiment", help="experiment id, e.g. E2, or 'all'")
+    be.set_defaults(func=cmd_bench)
+
+    ex = sub.add_parser("explain",
+                        help="replay how a node learned its distance")
+    ex.add_argument("graph")
+    ex.add_argument("--source", type=int, required=True)
+    ex.add_argument("--node", type=int, required=True)
+    ex.add_argument("--hops", type=int)
+    ex.set_defaults(func=cmd_explain)
+
+    b = sub.add_parser("bounds", help="evaluate the paper's bound formulas")
+    b.add_argument("-n", type=int, required=True)
+    b.add_argument("-k", type=int)
+    b.add_argument("--hops", type=int)
+    b.add_argument("--delta", type=int, required=True)
+    b.add_argument("--w-max", type=int, default=1)
+    b.set_defaults(func=cmd_bounds)
+    return p
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args, out)
+    except (FileNotFoundError, ValueError, KeyError) as exc:
+        # expected user errors (missing file, bad parameter, malformed
+        # graph): one clean line on stderr, exit 2 -- no traceback
+        from .graphs.digraph import GraphError  # noqa: F401 (subclass of ValueError)
+        sys.stderr.write(f"error: {exc}\n")
+        return 2
+    except BrokenPipeError:
+        # stdout piped into head/less that exited -- standard CLI etiquette
+        import os
+        try:
+            os.close(sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""CONGEST-model simulation substrate (paper Section I-B).
+
+Public surface:
+
+* :class:`Network` / :func:`run_program` -- the synchronous round simulator.
+* :class:`Program` / :class:`NodeContext` -- per-node algorithm interface.
+* :class:`RunMetrics` / :func:`merge_sequential` -- round & congestion accounting.
+* :func:`build_bfs_tree`, :func:`pipelined_broadcast`, :func:`convergecast`,
+  :func:`convergecast_sum`, :func:`convergecast_max`, :func:`broadcast_single`
+  -- folklore primitives used by Algorithm 3.
+* :class:`TraceRecorder` -- optional event tracing for invariant checks.
+"""
+
+from .message import (
+    CongestionError,
+    Envelope,
+    MessageSizeError,
+    payload_words,
+)
+from .metrics import RunMetrics, merge_sequential
+from .network import Network, RoundLimitExceeded, run_program
+from .node import NodeContext, Program
+from .primitives import (
+    BFSTree,
+    broadcast_single,
+    build_bfs_tree,
+    convergecast,
+    convergecast_max,
+    convergecast_sum,
+    pipelined_broadcast,
+)
+from .scheduler import MultiplexedNetwork, compose_time_sliced, run_multiplexed
+from .events import TraceEvent, TraceRecorder
+
+__all__ = [
+    "BFSTree",
+    "CongestionError",
+    "Envelope",
+    "MessageSizeError",
+    "MultiplexedNetwork",
+    "Network",
+    "NodeContext",
+    "Program",
+    "RoundLimitExceeded",
+    "RunMetrics",
+    "TraceEvent",
+    "TraceRecorder",
+    "broadcast_single",
+    "build_bfs_tree",
+    "compose_time_sliced",
+    "convergecast",
+    "convergecast_max",
+    "convergecast_sum",
+    "merge_sequential",
+    "payload_words",
+    "pipelined_broadcast",
+    "run_multiplexed",
+    "run_program",
+]

@@ -1,0 +1,51 @@
+"""Optional execution tracing for debugging and for the invariant checks.
+
+The benchmark E4 (invariants of Algorithm 1) and several property tests
+need to observe *when* entries were inserted and sent.  Rather than give
+the simulator a heavyweight instrumentation layer, programs that support
+tracing accept a :class:`TraceRecorder` and call :meth:`TraceRecorder.emit`
+at the relevant points.  A ``None`` recorder disables tracing with zero
+overhead beyond one attribute test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    round: int
+    node: int
+    kind: str
+    data: Tuple
+
+
+class TraceRecorder:
+    """Append-only event log with simple query helpers."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def emit(self, round_: int, node: int, kind: str, *data: Any) -> None:
+        self.events.append(TraceEvent(round_, node, kind, tuple(data)))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def per_node(self, kind: Optional[str] = None) -> Dict[int, List[TraceEvent]]:
+        out: Dict[int, List[TraceEvent]] = {}
+        for e in self.events:
+            if kind is None or e.kind == kind:
+                out.setdefault(e.node, []).append(e)
+        return out
+
+    def rounds_of(self, kind: str) -> List[int]:
+        return [e.round for e in self.events if e.kind == kind]

@@ -1,0 +1,70 @@
+"""Messages exchanged in the CONGEST model.
+
+The CONGEST model (paper, Section I-B) allows each node to send one message
+of ``O(log n)`` bits along each incident edge per round.  We account for
+message size in *words*, where one word is an ``O(log n)``-bit quantity
+(a node identifier, an integer distance, a hop count, a flag, ...).  A
+message of ``O(log n)`` bits is a message of ``O(1)`` words; the simulator
+enforces a configurable per-message word budget so that an algorithm which
+accidentally packs a super-constant amount of information into one message
+is rejected rather than silently mis-measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+
+class MessageSizeError(ValueError):
+    """Raised when a message exceeds the per-message word budget."""
+
+
+class CongestionError(RuntimeError):
+    """Raised when more than ``channel_capacity`` messages are placed on a
+    single directed channel in a single round."""
+
+
+def payload_words(payload: Any) -> int:
+    """Number of ``O(log n)``-bit words needed to encode *payload*.
+
+    Scalars (ints, floats, bools, None, short strings) count as one word.
+    Tuples/lists count as the sum of their fields.  This mirrors how one
+    would serialize the message on a real link: each field is an identifier,
+    a distance, or a flag, all of which fit in ``O(log n)`` bits for the
+    weight ranges the paper considers (``B = O(log n)``-bit weights).
+    """
+    if payload is None or isinstance(payload, (bool, int, float)):
+        return 1
+    if isinstance(payload, str):
+        # Treat a short tag (e.g. a phase name) as one word.
+        return 1
+    if isinstance(payload, (tuple, list)):
+        return sum(payload_words(f) for f in payload)
+    if isinstance(payload, dict):
+        return sum(payload_words(k) + payload_words(v) for k, v in payload.items())
+    raise TypeError(f"unsupported payload type for CONGEST message: {type(payload)!r}")
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight: *payload* sent from *src* to *dst* in round *round*.
+
+    ``words`` is cached at construction so congestion accounting does not
+    re-walk the payload.
+    """
+
+    src: int
+    dst: int
+    round: int
+    payload: Any
+    words: int = field(default=0)
+
+    @staticmethod
+    def make(src: int, dst: int, round_: int, payload: Any) -> "Envelope":
+        return Envelope(src=src, dst=dst, round=round_, payload=payload,
+                        words=payload_words(payload))
+
+
+Channel = Tuple[int, int]
+"""A directed communication channel ``(src, dst)``."""

@@ -1,0 +1,129 @@
+"""Round, message, and congestion accounting for CONGEST executions.
+
+The paper's results are statements about three quantities:
+
+* **round complexity** -- the number of synchronous rounds until every node
+  has its output (all theorems);
+* **congestion** -- the maximum number of messages that cross a single edge
+  over the whole execution (Lemma II.15 bounds the congestion of the
+  short-range algorithm by ``sqrt(h k)`` per source);
+* **message counts** -- e.g. the unweighted pipelined algorithm of [12]
+  sends at most one message per node per source.
+
+``RunMetrics`` captures all three exactly, so a benchmark can compare the
+measured value against the closed-form bound.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class RunMetrics:
+    """Accumulated statistics of one simulated CONGEST execution."""
+
+    #: Total number of rounds executed (the round-complexity measure).
+    #: This counts rounds 1..R inclusive where R is the last round in which
+    #: any node sent or received a message; idle rounds that were
+    #: fast-forwarded over are *included* (the algorithm still "waits"
+    #: through them in real time).
+    rounds: int = 0
+
+    #: Total number of point-to-point messages delivered.
+    messages: int = 0
+
+    #: Total number of payload words delivered.
+    words: int = 0
+
+    #: Largest single message, in words.
+    max_message_words: int = 0
+
+    #: Per directed channel (u, v): number of messages sent u -> v.
+    channel_messages: Counter = field(default_factory=Counter)
+
+    #: Per node: number of send operations it performed (a broadcast to
+    #: all neighbours counts as one send operation but ``deg`` messages).
+    node_sends: Counter = field(default_factory=Counter)
+
+    #: Number of rounds in which at least one message was in flight.
+    active_rounds: int = 0
+
+    #: Number of rounds skipped by the idle-round fast-forward optimisation
+    #: (these rounds are still counted in ``rounds``).
+    skipped_rounds: int = 0
+
+    def record_message(self, src: int, dst: int, words: int) -> None:
+        self.messages += 1
+        self.words += words
+        if words > self.max_message_words:
+            self.max_message_words = words
+        self.channel_messages[(src, dst)] += 1
+
+    @property
+    def max_channel_congestion(self) -> int:
+        """Maximum number of messages that crossed any single directed
+        channel over the whole execution."""
+        if not self.channel_messages:
+            return 0
+        return max(self.channel_messages.values())
+
+    @property
+    def max_edge_congestion(self) -> int:
+        """Maximum number of messages that crossed any single *undirected*
+        edge (both directions summed) over the whole execution."""
+        if not self.channel_messages:
+            return 0
+        per_edge: Counter = Counter()
+        for (u, v), c in self.channel_messages.items():
+            per_edge[(min(u, v), max(u, v))] += c
+        return max(per_edge.values())
+
+    @property
+    def max_node_sends(self) -> int:
+        """Maximum number of send operations performed by any single node."""
+        if not self.node_sends:
+            return 0
+        return max(self.node_sends.values())
+
+    def merged_with(self, other: "RunMetrics") -> "RunMetrics":
+        """Sequential composition: the metrics of running ``self``'s
+        execution followed by ``other``'s.
+
+        Rounds add (the phases run one after another, as in Algorithm 3);
+        congestion counters add channel-wise.
+        """
+        out = RunMetrics()
+        out.rounds = self.rounds + other.rounds
+        out.messages = self.messages + other.messages
+        out.words = self.words + other.words
+        out.max_message_words = max(self.max_message_words, other.max_message_words)
+        out.channel_messages = self.channel_messages + other.channel_messages
+        out.node_sends = self.node_sends + other.node_sends
+        out.active_rounds = self.active_rounds + other.active_rounds
+        out.skipped_rounds = self.skipped_rounds + other.skipped_rounds
+        return out
+
+    def summary(self) -> Dict[str, int]:
+        """Compact dictionary used by the benchmark tables."""
+        return {
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "words": self.words,
+            "max_message_words": self.max_message_words,
+            "max_channel_congestion": self.max_channel_congestion,
+            "max_edge_congestion": self.max_edge_congestion,
+            "max_node_sends": self.max_node_sends,
+            "active_rounds": self.active_rounds,
+        }
+
+
+def merge_sequential(*metrics: Optional[RunMetrics]) -> RunMetrics:
+    """Merge any number of phase metrics into one sequential execution."""
+    out = RunMetrics()
+    for m in metrics:
+        if m is not None:
+            out = out.merged_with(m)
+    return out

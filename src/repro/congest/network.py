@@ -1,0 +1,186 @@
+"""The synchronous CONGEST network simulator.
+
+This is the substitution substrate documented in DESIGN.md section 5: the
+paper assumes an abstract synchronous network of ``n`` processors; we
+execute the same per-node programs in lockstep rounds and *count* exactly
+the quantities the paper's theorems bound (rounds, per-edge congestion,
+message sizes).
+
+Design notes
+------------
+* Messages sent in round ``r`` are delivered in the receive phase of round
+  ``r`` and can influence sends from round ``r + 1`` on (Section I-B /
+  Lemma II.12 of the paper).
+* The CONGEST constraints are *enforced*, not just measured: a program
+  that puts two messages on one directed channel in one round, or packs
+  more than ``max_message_words`` words into a message, raises immediately.
+  This turns model violations into test failures instead of silently wrong
+  round counts.
+* Idle rounds are fast-forwarded using ``Program.next_active_round``; the
+  round counter still advances through them (``RunMetrics.skipped_rounds``
+  records how many were skipped), so measured round complexity is identical
+  to naive execution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from .message import CongestionError, Envelope, MessageSizeError
+from .metrics import RunMetrics
+from .node import NodeContext, Program
+
+
+class RoundLimitExceeded(RuntimeError):
+    """The execution did not quiesce within ``max_rounds`` rounds."""
+
+
+class Network:
+    """A simulated CONGEST network running one :class:`Program` per node.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`repro.graphs.WeightedDigraph` (or any object with the
+        same ``n`` / ``out_edges(v)`` / ``in_edges(v)`` /
+        ``comm_neighbors(v)`` interface).
+    program_factory:
+        Called once per node id to create that node's program.  Use a
+        shared closure to give different nodes different roles (e.g. the
+        source set ``S``).
+    max_message_words:
+        Per-message word budget (one word = one O(log n)-bit field).
+        The paper's messages carry a constant number of fields; 8 leaves
+        comfortable room for ``(d, l, x, flag, nu)``-style payloads.
+    channel_capacity:
+        Messages allowed per directed channel per round (1 in CONGEST).
+    """
+
+    def __init__(self, graph: Any,
+                 program_factory: Callable[[int], Program],
+                 *,
+                 max_message_words: int = 8,
+                 channel_capacity: int = 1) -> None:
+        self.graph = graph
+        self.n = graph.n
+        self.max_message_words = max_message_words
+        self.channel_capacity = channel_capacity
+        self.programs: List[Program] = []
+        self.contexts: List[NodeContext] = []
+        for v in range(self.n):
+            self.programs.append(program_factory(v))
+            self.contexts.append(NodeContext(
+                node=v, n=self.n,
+                out_edges=graph.out_edges(v),
+                in_edges=graph.in_edges(v),
+                comm_neighbors=graph.comm_neighbors(v),
+            ))
+        self.metrics = RunMetrics()
+        self._started = False
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_rounds: int) -> RunMetrics:
+        """Execute rounds until every node is quiescent.
+
+        Returns the accumulated :class:`RunMetrics`.  Raises
+        :class:`RoundLimitExceeded` if activity continues past
+        *max_rounds* -- for the paper's algorithms this indicates a bug,
+        since all of them have provable round bounds.
+        """
+        n = self.n
+        programs, contexts = self.programs, self.contexts
+        if not self._started:
+            for v in range(n):
+                programs[v].on_start(contexts[v])
+            self._started = True
+
+        # next_round[v] is the earliest round (> last processed round) at
+        # which node v wants its send phase executed, or None if quiescent.
+        next_round: List[Optional[int]] = [
+            programs[v].next_active_round(contexts[v], 0) for v in range(n)
+        ]
+
+        metrics = self.metrics
+        prev_r = 0
+        while True:
+            pending = [x for x in next_round if x is not None]
+            if not pending:
+                break  # global quiescence: no sends scheduled, none in flight
+            r = min(pending)
+            if r > max_rounds:
+                raise RoundLimitExceeded(
+                    f"no quiescence by round {max_rounds}; "
+                    f"next scheduled send at round {r}")
+            if r > prev_r + 1:
+                metrics.skipped_rounds += r - prev_r - 1
+            prev_r = r
+
+            # --- send phase -------------------------------------------
+            envelopes: List[Envelope] = []
+            senders: List[int] = []
+            for v in range(n):
+                if next_round[v] is not None and next_round[v] <= r:
+                    ctx = contexts[v]
+                    ctx._begin_round(r)
+                    programs[v].on_send(ctx, r)
+                    out = ctx._end_send()
+                    if out:
+                        envelopes.extend(out)
+                        metrics.node_sends[v] += 1
+                    senders.append(v)
+
+            # --- CONGEST constraint enforcement + delivery -------------
+            inboxes: Dict[int, List[Envelope]] = {}
+            channel_load: Dict[tuple, int] = {}
+            for env in envelopes:
+                if env.words > self.max_message_words:
+                    raise MessageSizeError(
+                        f"round {r}: node {env.src} sent a {env.words}-word "
+                        f"message (budget {self.max_message_words}): "
+                        f"{env.payload!r}")
+                ch = (env.src, env.dst)
+                load = channel_load.get(ch, 0) + 1
+                if load > self.channel_capacity:
+                    raise CongestionError(
+                        f"round {r}: channel {ch} carries {load} messages "
+                        f"(capacity {self.channel_capacity})")
+                channel_load[ch] = load
+                metrics.record_message(env.src, env.dst, env.words)
+                inboxes.setdefault(env.dst, []).append(env)
+
+            if envelopes:
+                metrics.active_rounds += 1
+                metrics.rounds = max(metrics.rounds, r)
+
+            # --- receive phase ------------------------------------------
+            receivers = sorted(inboxes)
+            for v in receivers:
+                inbox = sorted(inboxes[v], key=lambda e: e.src)
+                programs[v].on_receive(contexts[v], r, inbox)
+
+            # --- reschedule ---------------------------------------------
+            touched = set(senders)
+            touched.update(receivers)
+            for v in touched:
+                next_round[v] = programs[v].next_active_round(contexts[v], r)
+
+        return metrics
+
+    # ------------------------------------------------------------------
+
+    def outputs(self) -> List[Any]:
+        """Per-node outputs after :meth:`run` (``Program.output``)."""
+        return [self.programs[v].output(self.contexts[v]) for v in range(self.n)]
+
+    def output_of(self, v: int) -> Any:
+        return self.programs[v].output(self.contexts[v])
+
+
+def run_program(graph: Any, program_factory: Callable[[int], Program],
+                max_rounds: int, **network_kwargs: Any):
+    """Convenience wrapper: build a network, run it, return
+    ``(outputs, metrics, network)``."""
+    net = Network(graph, program_factory, **network_kwargs)
+    metrics = net.run(max_rounds)
+    return net.outputs(), metrics, net

@@ -1,0 +1,225 @@
+"""Global communication primitives used by the blocker-set machinery.
+
+Algorithm 3 (paper, Section III) interleaves the pipelined shortest-path
+computations with classic CONGEST building blocks: building a BFS spanning
+tree of the communication graph, broadcasting a sequence of values from a
+root (one ``O(log n)``-word value per round, pipelined -- ``O(D + k)``
+rounds for ``k`` values), and convergecasting an aggregate (sum / max) up
+the tree.  These are folklore; we implement them as honest node programs so
+that every round Algorithm 3 spends is actually simulated and counted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from .message import Envelope
+from .metrics import RunMetrics
+from .network import Network
+from .node import NodeContext, Program
+
+
+INF = float("inf")
+
+
+# ---------------------------------------------------------------------------
+# BFS spanning tree
+# ---------------------------------------------------------------------------
+
+class BFSTreeProgram(Program):
+    """Distributed BFS from ``root`` over the communication graph.
+
+    Classic flooding: the root announces depth 0 in round 1; a node adopts
+    the first announcement it hears (smallest sender id breaks ties,
+    deterministically) and re-announces once.  Terminates in ``D + 1``
+    rounds where ``D`` is the diameter of the underlying undirected graph.
+    """
+
+    def __init__(self, v: int, root: int) -> None:
+        self.v = v
+        self.root = root
+        self.parent: Optional[int] = None
+        self.depth: Optional[int] = 0 if v == root else None
+        self._announce_round: Optional[int] = 1 if v == root else None
+
+    def on_send(self, ctx: NodeContext, r: int) -> None:
+        if self._announce_round == r:
+            ctx.broadcast(("bfs", self.depth))
+            self._announce_round = None
+
+    def on_receive(self, ctx: NodeContext, r: int, inbox: List[Envelope]) -> None:
+        if self.depth is not None:
+            return
+        best = min(inbox, key=lambda e: e.src)
+        self.parent = best.src
+        self.depth = best.payload[1] + 1
+        self._announce_round = r + 1
+
+    def next_active_round(self, ctx: NodeContext, r: int) -> Optional[int]:
+        return self._announce_round
+
+    def output(self, ctx: NodeContext) -> Tuple[Optional[int], Optional[int]]:
+        return (self.parent, self.depth)
+
+
+class BFSTree:
+    """A rooted spanning tree of the communication graph, with the metrics
+    of the distributed construction that produced it."""
+
+    def __init__(self, root: int, parents: List[Optional[int]],
+                 depths: List[Optional[int]], metrics: RunMetrics) -> None:
+        self.root = root
+        self.parents = parents
+        self.depths = depths
+        self.metrics = metrics
+        n = len(parents)
+        self.children: List[List[int]] = [[] for _ in range(n)]
+        for v, p in enumerate(parents):
+            if p is not None:
+                self.children[p].append(v)
+        self.height = max((d for d in depths if d is not None), default=0)
+
+    @property
+    def n(self) -> int:
+        return len(self.parents)
+
+    def covers(self, v: int) -> bool:
+        return self.depths[v] is not None
+
+
+def build_bfs_tree(graph: Any, root: int) -> BFSTree:
+    """Build a BFS spanning tree rooted at *root*, distributedly."""
+    net = Network(graph, lambda v: BFSTreeProgram(v, root))
+    metrics = net.run(max_rounds=2 * graph.n + 2)
+    parents = [None] * graph.n
+    depths = [None] * graph.n
+    for v, (p, d) in enumerate(net.outputs()):
+        parents[v], depths[v] = p, d
+    return BFSTree(root, parents, depths, metrics)
+
+
+# ---------------------------------------------------------------------------
+# Pipelined broadcast of a value sequence down a tree
+# ---------------------------------------------------------------------------
+
+class PipelinedBroadcastProgram(Program):
+    """The root feeds one value per round into the tree; every other node
+    forwards what it received last round to its children.  ``k`` values
+    reach every node within ``k + height`` rounds."""
+
+    def __init__(self, v: int, tree: BFSTree, values: Sequence[Any]) -> None:
+        self.v = v
+        self.tree = tree
+        self.received: List[Any] = list(values) if v == tree.root else []
+        self._queue: List[Tuple[int, Any]] = []
+        if v == tree.root:
+            self._queue = [(i + 1, val) for i, val in enumerate(values)]
+        self._qi = 0
+
+    def on_send(self, ctx: NodeContext, r: int) -> None:
+        while self._qi < len(self._queue) and self._queue[self._qi][0] == r:
+            _, val = self._queue[self._qi]
+            self._qi += 1
+            ctx.send_many(self.tree.children[self.v], val)
+
+    def on_receive(self, ctx: NodeContext, r: int, inbox: List[Envelope]) -> None:
+        for env in inbox:
+            self.received.append(env.payload)
+            self._queue.append((r + 1, env.payload))
+
+    def next_active_round(self, ctx: NodeContext, r: int) -> Optional[int]:
+        if self._qi < len(self._queue):
+            return max(r + 1, self._queue[self._qi][0])
+        return None
+
+    def output(self, ctx: NodeContext) -> List[Any]:
+        return self.received
+
+
+def pipelined_broadcast(graph: Any, tree: BFSTree,
+                        values: Sequence[Any]) -> Tuple[List[List[Any]], RunMetrics]:
+    """Broadcast *values* (held at the tree root) to all nodes, one value
+    per round, pipelined.  Returns (per-node received lists, metrics)."""
+    if not values:
+        return [[] for _ in range(graph.n)], RunMetrics()
+    net = Network(graph, lambda v: PipelinedBroadcastProgram(v, tree, values))
+    metrics = net.run(max_rounds=len(values) + tree.height + 2)
+    return net.outputs(), metrics
+
+
+# ---------------------------------------------------------------------------
+# Convergecast of an aggregate up a tree
+# ---------------------------------------------------------------------------
+
+class ConvergecastProgram(Program):
+    """Leaf-to-root aggregation: each node combines its local value with
+    its children's aggregates and forwards the result to its parent once
+    all children have reported.  ``height`` rounds; one message per node."""
+
+    def __init__(self, v: int, tree: BFSTree, local: Any,
+                 combine: Callable[[Any, Any], Any]) -> None:
+        self.v = v
+        self.tree = tree
+        self.acc = local
+        self.combine = combine
+        self._waiting = set(tree.children[v])
+        self._send_round: Optional[int] = None
+        self.result: Any = None
+        if not self._waiting and tree.covers(v) and v != tree.root:
+            self._send_round = 1
+        if v == tree.root and not self._waiting:
+            self.result = self.acc
+
+    def on_send(self, ctx: NodeContext, r: int) -> None:
+        if self._send_round == r:
+            ctx.send(self.tree.parents[self.v], ("agg", self.acc))
+            self._send_round = None
+
+    def on_receive(self, ctx: NodeContext, r: int, inbox: List[Envelope]) -> None:
+        for env in inbox:
+            self.acc = self.combine(self.acc, env.payload[1])
+            self._waiting.discard(env.src)
+        if not self._waiting:
+            if self.v == self.tree.root:
+                self.result = self.acc
+            else:
+                self._send_round = r + 1
+
+    def next_active_round(self, ctx: NodeContext, r: int) -> Optional[int]:
+        return self._send_round
+
+    def output(self, ctx: NodeContext) -> Any:
+        return self.result
+
+
+def convergecast(graph: Any, tree: BFSTree, locals_: Sequence[Any],
+                 combine: Callable[[Any, Any], Any]) -> Tuple[Any, RunMetrics]:
+    """Aggregate ``locals_[v]`` over all v up to the tree root.
+
+    Aggregates must be single CONGEST words (ints, or small tuples such as
+    ``(score, node_id)`` for argmax).  Returns (root aggregate, metrics).
+    """
+    net = Network(graph, lambda v: ConvergecastProgram(v, tree, locals_[v], combine))
+    metrics = net.run(max_rounds=tree.height + 2)
+    return net.output_of(tree.root), metrics
+
+
+def convergecast_sum(graph: Any, tree: BFSTree,
+                     locals_: Sequence[int]) -> Tuple[int, RunMetrics]:
+    """Sum of ``locals_[v]`` over all nodes, aggregated at the tree root."""
+    return convergecast(graph, tree, locals_, lambda a, b: a + b)
+
+
+def convergecast_max(graph: Any, tree: BFSTree,
+                     locals_: Sequence[Tuple]) -> Tuple[Tuple, RunMetrics]:
+    """Argmax convergecast of ``(key..., node)`` tuples."""
+    return convergecast(graph, tree, locals_, lambda a, b: a if a >= b else b)
+
+
+def broadcast_single(graph: Any, tree: BFSTree, value: Any) -> Tuple[List[Any], RunMetrics]:
+    """Broadcast a single word from the root; returns per-node value."""
+    received, metrics = pipelined_broadcast(graph, tree, [value])
+    out = []
+    for v, vals in enumerate(received):
+        out.append(vals[0] if vals else None)
+    return out, metrics

@@ -1,0 +1,226 @@
+"""(1 + eps)-approximate APSP with zero weights (paper, Section IV /
+Theorem I.5).
+
+The paper's reduction, implemented phase by phase:
+
+1. **zero-weight reachability**: run the unweighted pipelined APSP of
+   [12] over the zero-weight subgraph (O(n) rounds).  Pairs connected by
+   a zero-weight path have distance exactly 0 (weights are
+   non-negative), and every other pair has distance >= 1.
+2. **scaling transform**: build ``G'`` with ``w'(e) = 1`` for zero-weight
+   edges and ``w'(e) = n^2 w(e)`` otherwise.  Any l-hop path p satisfies
+   ``n^2 w(p) <= w'(p) <= n^2 w(p) + l``.
+3. **positive-weight (1 + eps/3)-approx APSP** on ``G'`` -- the
+   Theorem IV.1 substrate of [16]/[18], built here from the standard
+   per-scale weight rounding on top of the positive-weight pipelined
+   APSP (:mod:`repro.core.positive_pipeline`):
+
+   for each distance scale ``2^i`` set ``rho_i = eps' 2^i / n``, round
+   ``w_i(e) = ceil(w'(e) / rho_i)``, and run the exact pipelined APSP
+   with distances capped at ``Delta_i = ceil(2^{i+1} / rho_i) + n =
+   O(n / eps')``.  Rounding adds at most ``rho_i`` per hop, i.e. at most
+   ``eps' 2^i`` per path in scale i, so the best estimate over scales is
+   a (1 + eps') approximation.  Each scale costs ``Delta_i + n`` rounds
+   and there are ``O(log (n^3 W))`` scales: ``O((n / eps) log n)`` rounds
+   total for poly(n) weights.
+4. **combine**: 0 for zero-reachable pairs, otherwise the scale minimum
+   divided by ``n^2``.  The paper's calculation gives
+   ``delta <= estimate <= (1 + eps) delta`` whenever ``eps > 3/n``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..congest import RunMetrics, merge_sequential
+from ..graphs.digraph import WeightedDigraph
+from ..graphs.transforms import rounded_graph, scaled_graph
+from .positive_pipeline import run_positive_apsp
+from .unweighted import zero_reachability_distributed
+
+INF = float("inf")
+
+
+@dataclass
+class ApproxAPSPResult:
+    """(1+eps)-approximate distances: ``dist[x][v]`` satisfies
+    ``delta(x, v) <= dist[x][v] <= (1 + eps) delta(x, v)`` for every
+    reachable pair (and ``inf`` exactly for unreachable pairs)."""
+
+    eps: float
+    dist: List[List[float]]
+    metrics: RunMetrics
+    scales: int
+    phase_rounds: Dict[str, int] = field(default_factory=dict)
+    round_bound: float = 0.0
+
+
+def run_approx_apsp_positive(graph: WeightedDigraph, eps: float,
+                             *, max_weight: Optional[int] = None
+                             ) -> ApproxAPSPResult:
+    """The Theorem IV.1 substrate standalone: deterministic (1+eps)-
+    approximate APSP for *strictly positive* integer weights via
+    per-scale weight rounding over the positive-weight pipelined APSP.
+
+    This is the [16]/[18]-style building block Section IV consumes; the
+    zero-weight-capable :func:`run_approx_apsp` wraps it with the n^2
+    scaling transform.  Raises on zero weights (that is the point).
+    """
+    n = graph.n
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    if round(eps * 10 ** 6) == 0:
+        raise ValueError(
+            f"eps={eps} is below this implementation's 1e-6 resolution")
+    for _u, _v, w in graph.edges():
+        if w == 0:
+            raise ValueError(
+                "run_approx_apsp_positive requires strictly positive "
+                "weights; use run_approx_apsp for zero-weight graphs")
+    if max_weight is None:
+        max_weight = graph.max_weight
+
+    eps_den = 10 ** 6
+    eps_num = round(eps * eps_den)
+    max_dist = max(1, max_weight) * n + 1
+    num_scales = max(1, math.ceil(math.log2(max(2, max_dist))))
+    metrics = RunMetrics()
+    best = [[INF] * n for _ in range(n)]
+    phase_rounds = {"scales": 0}
+    for i in range(num_scales):
+        num = eps_num * (1 << i)
+        den = n * eps_den
+        gi = rounded_graph(graph, num, den)
+        cap = -((-(1 << (i + 1)) * den) // num) + n
+        res = run_positive_apsp(gi, distance_cap=cap)
+        metrics = merge_sequential(metrics, res.metrics)
+        phase_rounds["scales"] += res.metrics.rounds
+        for x in range(n):
+            row = res.dist[x]
+            bx = best[x]
+            for v in range(n):
+                if row[v] != INF:
+                    est = row[v] * num / den
+                    if est < bx[v]:
+                        bx[v] = est
+    dist: List[List[float]] = [[INF] * n for _ in range(n)]
+    for x in range(n):
+        for v in range(n):
+            dist[x][v] = 0.0 if v == x else best[x][v]
+
+    from ..bounds import theorem15_approx_apsp
+    return ApproxAPSPResult(
+        eps=eps, dist=dist, metrics=metrics, scales=num_scales,
+        phase_rounds=phase_rounds,
+        round_bound=theorem15_approx_apsp(n, eps))
+
+
+def run_approx_apsp(graph: WeightedDigraph, eps: float,
+                    *, max_weight: Optional[int] = None) -> ApproxAPSPResult:
+    """Theorem I.5: deterministic (1+eps)-approximate APSP with
+    non-negative integer weights, zero allowed.
+
+    ``eps`` must exceed ``3/n`` (the paper's requirement; smaller eps
+    would need a larger scaling factor than n^2).
+    """
+    n = graph.n
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    if eps <= 3.0 / n and n > 3:
+        raise ValueError(
+            f"eps={eps} <= 3/n={3.0 / n:.4f}: the n^2 scaling transform "
+            "only guarantees (1+eps) for eps > 3/n (Theorem I.5)")
+    if round(eps * 10 ** 6) == 0:
+        raise ValueError(
+            f"eps={eps} is below this implementation's 1e-6 resolution")
+    if max_weight is None:
+        max_weight = graph.max_weight
+
+    # Phase 1: zero-weight reachability ([12] on the zero subgraph).
+    zero_in, m_zero = zero_reachability_distributed(graph)
+    metrics = m_zero
+    phase_rounds = {"zero_reachability": m_zero.rounds}
+
+    # Phase 2: local transform (no communication).
+    gprime = scaled_graph(graph)
+
+    # Phase 3: per-scale capped positive-weight pipelined APSP.
+    eps3_num, eps3_den = 1, 3  # eps' = eps/3 as a rational: eps * 1/3
+    # rho_i = (eps/3) * 2^i / n.  Work with rho_i = eps_num * 2^i /
+    # (3 * n * eps_den) where eps = eps_num/eps_den approximated by a
+    # fraction with denominator 10^6 (exact for the usual 0.5, 0.25, ...).
+    eps_den = 10 ** 6
+    eps_num = round(eps * eps_den)
+    max_dist_prime = n * n * max_weight * n + n  # crude upper bound on delta'
+    num_scales = max(1, math.ceil(math.log2(max(2, max_dist_prime))))
+
+    best = [[INF] * n for _ in range(n)]
+    phase_rounds["scales"] = 0
+    for i in range(num_scales):
+        # rho_i = eps_num * 2^i / (3 n eps_den), as num/den
+        num = eps_num * (1 << i)
+        den = 3 * n * eps_den
+        gi = rounded_graph(gprime, num, den)
+        # Delta_i = ceil(2^{i+1} / rho_i) + n = ceil(2^{i+1} den / num) + n
+        cap = -((-(1 << (i + 1)) * den) // num) + n
+        res = run_positive_apsp(gi, distance_cap=cap)
+        metrics = merge_sequential(metrics, res.metrics)
+        phase_rounds["scales"] += res.metrics.rounds
+        for x in range(n):
+            row = res.dist[x]
+            bx = best[x]
+            for v in range(n):
+                if row[v] != INF:
+                    est = row[v] * num / den  # d-hat * rho_i
+                    if est < bx[v]:
+                        bx[v] = est
+
+    # Phase 4: local combine.
+    n2 = n * n
+    dist: List[List[float]] = [[INF] * n for _ in range(n)]
+    for x in range(n):
+        for v in range(n):
+            if v == x:
+                dist[x][v] = 0.0
+            elif x in zero_in[v]:
+                dist[x][v] = 0.0
+            elif best[x][v] != INF:
+                dist[x][v] = best[x][v] / n2
+
+    from ..bounds import theorem15_approx_apsp
+    return ApproxAPSPResult(
+        eps=eps, dist=dist, metrics=metrics, scales=num_scales,
+        phase_rounds=phase_rounds,
+        round_bound=theorem15_approx_apsp(n, eps),
+    )
+
+
+def verify_approx_ratio(graph: WeightedDigraph, result: ApproxAPSPResult) -> float:
+    """Check ``delta <= estimate <= (1+eps) delta`` for every pair (with
+    estimate == 0 iff delta == 0) and return the worst measured ratio."""
+    from ..graphs.reference import dijkstra
+    worst = 1.0
+    for x in range(graph.n):
+        d_true, _ = dijkstra(graph, x)
+        for v in range(graph.n):
+            est, true = result.dist[x][v], d_true[v]
+            if true == INF:
+                if est != INF:
+                    raise AssertionError(f"({x},{v}): estimate {est} for unreachable pair")
+                continue
+            if est == INF:
+                raise AssertionError(f"({x},{v}): no estimate for reachable pair (delta={true})")
+            if true == 0:
+                if est != 0:
+                    raise AssertionError(f"({x},{v}): estimate {est} != 0 for zero-distance pair")
+                continue
+            ratio = est / true
+            if ratio < 1.0 - 1e-12:
+                raise AssertionError(f"({x},{v}): estimate {est} below delta {true}")
+            if ratio > 1.0 + result.eps + 1e-12:
+                raise AssertionError(
+                    f"({x},{v}): ratio {ratio:.4f} exceeds 1+eps={1 + result.eps}")
+            worst = max(worst, ratio)
+    return worst

@@ -1,0 +1,396 @@
+"""Blocker sets for h-hop tree collections (paper, Section III-B).
+
+A *blocker set* ``Q`` for a collection of rooted h-hop trees hits every
+root-to-leaf path of length exactly ``h`` (Definition III.1).  The paper
+computes one greedily -- repeatedly take the node lying on the most
+uncovered paths -- with each greedy round implemented distributedly:
+
+1. **score initialisation**: ``score_x(v)`` = number of depth-h leaf
+   descendants of v in tree ``T_x`` (the number of length-h root-to-leaf
+   paths through v in that tree); computed by a pipelined convergecast up
+   every tree at once (the paper's timestamp-pipelined variant of the
+   same aggregation);
+2. **argmax**: convergecast of ``(total score, node)`` over a BFS
+   spanning tree, then a broadcast of the winner ``c``;
+3. **updates at ancestors**: ``score_c(x)`` travels from c towards each
+   root x along the *reversed* in-tree of Lemma III.7; every ancestor
+   subtracts it (its paths through c are now covered);
+4. **updates at descendants** (Algorithm 4): the tree id ``x`` travels
+   down the out-tree of Lemma III.6; every descendant zeroes its score
+   for ``T_x``; Lemma III.8 bounds this phase by ``k + h - 1`` rounds
+   (benchmark E7 measures it);
+5. **termination test**: convergecast of the total number of uncovered
+   paths (the roots' own scores); stop at zero.
+
+Both structural lemmas make steps 3-4 collision-free: messages injected
+one per round into a tree never meet, so every node sends at most one
+message per round.
+
+:func:`greedy_blocker_reference` is the centralized oracle with the same
+deterministic tie-breaking (max score, then min node id); the distributed
+and reference results must agree exactly, which the tests check.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..congest import (
+    Envelope,
+    Network,
+    NodeContext,
+    Program,
+    RunMetrics,
+    broadcast_single,
+    build_bfs_tree,
+    convergecast_max,
+    convergecast_sum,
+    merge_sequential,
+)
+from ..graphs.digraph import WeightedDigraph
+from .csssp import CSSSPCollection
+
+INF = float("inf")
+
+
+# ---------------------------------------------------------------------------
+# Centralized reference (oracle for tests)
+# ---------------------------------------------------------------------------
+
+def tree_scores(coll: CSSSPCollection, covered: Set[int]) -> Dict[int, Dict[int, int]]:
+    """``scores[v][x]`` = number of depth-h leaves below v in T_x whose
+    root path avoids every node in *covered* (v's own containment of a
+    covered node also kills its paths)."""
+    scores: Dict[int, Dict[int, int]] = {v: {} for v in range(coll.n)}
+    for x in coll.sources:
+        for leaf in coll.leaves_at_depth_h(x):
+            path = coll.tree_path(x, leaf)
+            assert path is not None
+            if any(p in covered for p in path):
+                continue
+            for v in path:
+                scores[v][x] = scores[v].get(x, 0) + 1
+    return scores
+
+
+def greedy_blocker_reference(coll: CSSSPCollection) -> List[int]:
+    """Centralized greedy blocker set with (max score, min id) ties."""
+    covered: Set[int] = set()
+    blockers: List[int] = []
+    while True:
+        scores = tree_scores(coll, covered)
+        totals = {v: sum(sc.values()) for v, sc in scores.items()}
+        best_v, best_s = None, 0
+        for v in range(coll.n):
+            s = totals.get(v, 0)
+            if s > best_s or (s == best_s and s > 0 and v < (best_v if best_v is not None else coll.n)):
+                best_v, best_s = v, s
+        if best_s == 0:
+            return blockers
+        covered.add(best_v)
+        blockers.append(best_v)
+
+
+def verify_blocker_coverage(coll: CSSSPCollection, blockers: Sequence[int]) -> None:
+    """Assert Definition III.1: every depth-h root-to-leaf path in every
+    tree contains a blocker node."""
+    qset = set(blockers)
+    for x in coll.sources:
+        for leaf in coll.leaves_at_depth_h(x):
+            path = coll.tree_path(x, leaf)
+            assert path is not None
+            if not qset.intersection(path):
+                raise AssertionError(
+                    f"uncovered depth-{coll.h} path in T_{x}: {path}")
+
+
+def blocker_size_bound(coll: CSSSPCollection) -> float:
+    """Greedy set-cover bound: ``(n/h) (ln P + 1) + 1`` where P is the
+    number of depth-h paths (each path has h+1 >= h nodes, so some node
+    covers an h/n fraction of what remains)."""
+    paths = sum(len(coll.leaves_at_depth_h(x)) for x in coll.sources)
+    if paths == 0:
+        return 0.0
+    return (coll.n / coll.h) * (math.log(paths) + 1) + 1
+
+
+# ---------------------------------------------------------------------------
+# Distributed phase programs
+# ---------------------------------------------------------------------------
+
+class ChildrenDiscoveryProgram(Program):
+    """Each node announces, for every tree it belongs to, its membership
+    to its tree parent (one announcement per round, pipelined); parents
+    learn their children sets."""
+
+    def __init__(self, v: int, coll: CSSSPCollection) -> None:
+        self.v = v
+        self.queue: List[Tuple[int, int]] = []  # (parent, x)
+        for x in coll.sources:
+            p = coll.parent[x][v]
+            if p is not None and coll.contains(x, v):
+                self.queue.append((p, x))
+        self.qi = 0
+        self.children: Dict[int, List[int]] = {}  # x -> children list
+
+    def on_send(self, ctx: NodeContext, r: int) -> None:
+        if self.qi < len(self.queue):
+            p, x = self.queue[self.qi]
+            self.qi += 1
+            ctx.send(p, ("child", x))
+
+    def on_receive(self, ctx: NodeContext, r: int, inbox: List[Envelope]) -> None:
+        for env in inbox:
+            _tag, x = env.payload
+            self.children.setdefault(x, []).append(env.src)
+
+    def next_active_round(self, ctx: NodeContext, r: int) -> Optional[int]:
+        return r + 1 if self.qi < len(self.queue) else None
+
+    def output(self, ctx: NodeContext) -> Dict[int, List[int]]:
+        return {x: sorted(c) for x, c in self.children.items()}
+
+
+class ScoreInitProgram(Program):
+    """Pipelined convergecast of depth-h-leaf counts up all k trees at
+    once: a node reports tree x to its parent once all its children in
+    T_x have reported, one report per round (FIFO over ready trees)."""
+
+    def __init__(self, v: int, coll: CSSSPCollection,
+                 children: Dict[int, List[int]]) -> None:
+        self.v = v
+        self.coll = coll
+        self.score: Dict[int, int] = {}
+        self.pending: Dict[int, Set[int]] = {}
+        self.ready: List[int] = []
+        self._sent: Set[int] = set()
+        for x in coll.sources:
+            if not coll.contains(x, v):
+                continue
+            self.score[x] = 1 if coll.depth[x][v] == coll.h else 0
+            kids = set(children.get(x, ()))
+            self.pending[x] = kids
+            if not kids:
+                self.ready.append(x)
+        self.ri = 0
+
+    def _parent(self, x: int) -> Optional[int]:
+        return self.coll.parent[x][self.v]
+
+    def on_send(self, ctx: NodeContext, r: int) -> None:
+        while self.ri < len(self.ready):
+            x = self.ready[self.ri]
+            self.ri += 1
+            p = self._parent(x)
+            if p is not None:
+                ctx.send(p, ("score", x, self.score[x]))
+                return  # one message per round
+
+    def on_receive(self, ctx: NodeContext, r: int, inbox: List[Envelope]) -> None:
+        for env in inbox:
+            _tag, x, s = env.payload
+            self.score[x] = self.score.get(x, 0) + s
+            self.pending[x].discard(env.src)
+            if not self.pending[x]:
+                self.ready.append(x)
+
+    def next_active_round(self, ctx: NodeContext, r: int) -> Optional[int]:
+        # skip ready entries with no parent (roots) when deciding activity
+        for i in range(self.ri, len(self.ready)):
+            if self._parent(self.ready[i]) is not None:
+                return r + 1
+        return None
+
+    def output(self, ctx: NodeContext) -> Dict[int, int]:
+        return dict(self.score)
+
+
+class AncestorUpdateProgram(Program):
+    """Updates at ancestors of the new blocker c: the pair
+    ``(x, score_c(x))`` travels from c towards root x along parent
+    pointers of T_x; every node on the way subtracts."""
+
+    def __init__(self, v: int, coll: CSSSPCollection, c: int,
+                 c_scores: Dict[int, int], scores: Dict[int, int]) -> None:
+        self.v = v
+        self.coll = coll
+        self.c = c
+        self.scores = scores  # mutated in place (this node's score table)
+        self.queue: List[Tuple[int, int, int]] = []  # (dest, x, s)
+        self.qi = 0
+        if v == c:
+            for x in coll.sources:
+                if x != c and coll.contains(x, c) and c_scores.get(x, 0) != 0:
+                    p = coll.parent[x][c]
+                    if p is not None:
+                        self.queue.append((p, x, c_scores[x]))
+
+    def on_send(self, ctx: NodeContext, r: int) -> None:
+        if self.qi < len(self.queue):
+            dest, x, s = self.queue[self.qi]
+            self.qi += 1
+            ctx.send(dest, ("anc", x, s))
+
+    def on_receive(self, ctx: NodeContext, r: int, inbox: List[Envelope]) -> None:
+        for env in inbox:
+            _tag, x, s = env.payload
+            self.scores[x] = self.scores.get(x, 0) - s
+            if self.v != x:
+                p = self.coll.parent[x][self.v]
+                if p is not None:
+                    self.queue.append((p, x, s))
+
+    def next_active_round(self, ctx: NodeContext, r: int) -> Optional[int]:
+        return r + 1 if self.qi < len(self.queue) else None
+
+
+class DescendantUpdateProgram(Program):
+    """Algorithm 4: the tree id travels down the out-tree from c; every
+    descendant zeroes its score for that tree and forwards to its
+    children in the tree.  Lemma III.8: finishes in k + h - 1 rounds."""
+
+    def __init__(self, v: int, coll: CSSSPCollection, c: int,
+                 children: Dict[int, List[int]],
+                 scores: Dict[int, int]) -> None:
+        self.v = v
+        self.coll = coll
+        self.c = c
+        self.children = children
+        self.scores = scores
+        self.queue: List[Tuple[int, Tuple]] = []  # (x, recipients)
+        self.qi = 0
+        if v == c:
+            # Local step at c: zero own scores, queue one message per tree
+            for x in list(scores):
+                if coll.contains(x, c) and scores.get(x, 0) != 0:
+                    self.queue.append((x, tuple(children.get(x, ()))))
+            for x in list(scores):
+                scores[x] = 0
+
+    def on_send(self, ctx: NodeContext, r: int) -> None:
+        if self.qi < len(self.queue):
+            x, recipients = self.queue[self.qi]
+            self.qi += 1
+            ctx.send_many(recipients, ("desc", x))
+
+    def on_receive(self, ctx: NodeContext, r: int, inbox: List[Envelope]) -> None:
+        if len(inbox) > 1:
+            raise AssertionError(
+                f"Lemma III.6 violated: node {self.v} received "
+                f"{len(inbox)} descendant updates in round {r}")
+        for env in inbox:
+            _tag, x = env.payload
+            self.scores[x] = 0
+            if self.v != x:
+                self.queue.append((x, tuple(self.children.get(x, ()))))
+
+    def next_active_round(self, ctx: NodeContext, r: int) -> Optional[int]:
+        return r + 1 if self.qi < len(self.queue) else None
+
+
+# ---------------------------------------------------------------------------
+# Distributed greedy driver
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BlockerResult:
+    """Blocker set plus the full distributed round accounting."""
+
+    blockers: List[int]
+    metrics: RunMetrics
+    size_bound: float
+    total_paths: int
+    phase_rounds: Dict[str, int] = field(default_factory=dict)
+    #: Max rounds used by any single Algorithm 4 execution, and the
+    #: Lemma III.8 bound it must respect.
+    alg4_max_rounds: int = 0
+    alg4_round_bound: int = 0
+
+
+def compute_blocker_set(graph: WeightedDigraph,
+                        coll: CSSSPCollection) -> BlockerResult:
+    """Greedy blocker set for *coll*, with every phase simulated as an
+    honest CONGEST program.  The result matches
+    :func:`greedy_blocker_reference` exactly."""
+    n = graph.n
+    k = len(coll.sources)
+
+    # Phase 0a: BFS spanning tree for global argmax/sum.
+    bfs = build_bfs_tree(graph, root=0)
+    metrics = bfs.metrics
+    phase_rounds = {"bfs_tree": bfs.metrics.rounds}
+
+    # Phase 0b: children discovery.
+    net = Network(graph, lambda v: ChildrenDiscoveryProgram(v, coll))
+    m = net.run(max_rounds=k + 2)
+    metrics = merge_sequential(metrics, m)
+    phase_rounds["children_discovery"] = m.rounds
+    children: List[Dict[int, List[int]]] = net.outputs()
+
+    # Phase 0c: score initialisation (pipelined convergecast on k trees).
+    net = Network(graph, lambda v: ScoreInitProgram(v, coll, children[v]))
+    m = net.run(max_rounds=(k + 1) * (coll.h + 2) + 4)
+    metrics = merge_sequential(metrics, m)
+    phase_rounds["score_init"] = m.rounds
+    scores: List[Dict[int, int]] = net.outputs()
+
+    total_paths = sum(scores[x].get(x, 0) for x in coll.sources)
+    blockers: List[int] = []
+    alg4_max = 0
+    phase_rounds["argmax"] = 0
+    phase_rounds["ancestor_updates"] = 0
+    phase_rounds["descendant_updates"] = 0
+    phase_rounds["termination_checks"] = 0
+
+    while True:
+        # Termination test: total uncovered paths (roots' own scores).
+        locals_ = [scores[v].get(v, 0) if v in coll.sources else 0
+                   for v in range(n)]
+        total, m = convergecast_sum(graph, bfs, locals_)
+        metrics = merge_sequential(metrics, m)
+        phase_rounds["termination_checks"] += m.rounds
+        done = (total == 0)
+        flag, m = broadcast_single(graph, bfs, ("done", done))
+        metrics = merge_sequential(metrics, m)
+        phase_rounds["termination_checks"] += m.rounds
+        if done:
+            break
+
+        # Argmax convergecast: (score, -v) so ties prefer smaller ids.
+        locals_ = [(sum(scores[v].values()), -v) for v in range(n)]
+        (best_s, neg_v), m = convergecast_max(graph, bfs, locals_)
+        metrics = merge_sequential(metrics, m)
+        phase_rounds["argmax"] += m.rounds
+        c = -neg_v
+        _, m = broadcast_single(graph, bfs, ("blocker", c))
+        metrics = merge_sequential(metrics, m)
+        phase_rounds["argmax"] += m.rounds
+        blockers.append(c)
+
+        # Ancestor updates (uses c's scores *before* they are zeroed).
+        c_scores = dict(scores[c])
+        net = Network(graph, lambda v: AncestorUpdateProgram(
+            v, coll, c, c_scores, scores[v]))
+        m = net.run(max_rounds=k + coll.h + 4)
+        metrics = merge_sequential(metrics, m)
+        phase_rounds["ancestor_updates"] += m.rounds
+
+        # Descendant updates (Algorithm 4).
+        net = Network(graph, lambda v: DescendantUpdateProgram(
+            v, coll, c, children[v], scores[v]))
+        m = net.run(max_rounds=k + coll.h + 4)
+        metrics = merge_sequential(metrics, m)
+        phase_rounds["descendant_updates"] += m.rounds
+        alg4_max = max(alg4_max, m.rounds)
+
+    return BlockerResult(
+        blockers=blockers,
+        metrics=metrics,
+        size_bound=blocker_size_bound(coll),
+        total_paths=total_paths,
+        phase_rounds=phase_rounds,
+        alg4_max_rounds=alg4_max,
+        alg4_round_bound=k + coll.h - 1 + 1,  # +1: 1-based round counter
+    )

@@ -1,0 +1,249 @@
+"""CSSSP -- consistent collections of h-hop shortest-path trees
+(paper, Section III-A, Definition III.3 and Lemma III.4).
+
+Plain h-hop shortest-path parent pointers do not form trees of height h
+(Figure 1: the parent-pointer path can be longer than h hops and carry a
+different weight than the computed distance).  The paper's fix is
+delightfully simple: run the pipelined Algorithm 1 with hop bound ``2h``
+and keep only nodes whose computed hop count is at most ``h``.
+
+Why this works (Lemma III.4): Algorithm 1's output pointers follow
+min-hop shortest paths with deterministic tie-breaking (distance, then
+hop count, then parent id), so the pointer chain from v towards source x
+passes through nodes of strictly decreasing hop count -- every prefix of
+a retained (<= h hop) path is itself a retained min-hop shortest path,
+and the same path appears in every tree that contains both endpoints.
+
+The collection exposes the two structural properties the blocker-set
+machinery relies on:
+
+* :meth:`CSSSPCollection.in_tree_to` -- the union over trees of the
+  root-to-c tree paths forms an in-tree rooted at c (Lemma III.7);
+* :meth:`CSSSPCollection.out_tree_from` -- the union over trees of the
+  c-to-descendant tree paths forms an out-tree rooted at c
+  (Lemma III.6).
+
+Both are verified by property tests, as is Definition III.3 itself
+(:meth:`CSSSPCollection.check_consistency`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..congest import RunMetrics
+from ..graphs.digraph import WeightedDigraph
+from .pipelined import HKSSPResult, run_hk_ssp
+
+INF = float("inf")
+
+
+@dataclass
+class CSSSPCollection:
+    """An h-hop CSSSP collection over source set ``sources``.
+
+    ``parent[x][v]`` is v's parent in the tree ``T_x`` (``None`` for the
+    root and for nodes outside the tree), ``dist[x][v]`` / ``depth[x][v]``
+    the weighted distance and hop depth (``inf`` outside).  ``metrics``
+    is the cost of the distributed construction (the 2h-hop Algorithm 1
+    run; the truncation is a local step).
+    """
+
+    sources: Tuple[int, ...]
+    h: int
+    n: int
+    parent: Dict[int, List[Optional[int]]]
+    dist: Dict[int, List[float]]
+    depth: Dict[int, List[float]]
+    metrics: RunMetrics
+    round_bound: int
+
+    # -- membership and navigation ---------------------------------------
+
+    def contains(self, x: int, v: int) -> bool:
+        return self.depth[x][v] != INF
+
+    def tree_nodes(self, x: int) -> List[int]:
+        return [v for v in range(self.n) if self.contains(x, v)]
+
+    def children(self, x: int, v: int) -> List[int]:
+        """Children of v in T_x (nodes one hop deeper pointing at v)."""
+        return [u for u in range(self.n)
+                if self.parent[x][u] == v and self.contains(x, u)]
+
+    def tree_path(self, x: int, v: int) -> Optional[List[int]]:
+        """The tree path from x to v in T_x, or None if v not in T_x."""
+        if not self.contains(x, v):
+            return None
+        path = [v]
+        cur = v
+        while cur != x:
+            cur = self.parent[x][cur]
+            if cur is None or len(path) > self.n:
+                raise ValueError(f"broken parent chain for source {x}")
+            path.append(cur)
+        path.reverse()
+        return path
+
+    def leaves_at_depth_h(self, x: int) -> List[int]:
+        """Nodes at depth exactly h in T_x -- the endpoints of the paths a
+        blocker set must cover (Definition III.1)."""
+        return [v for v in range(self.n) if self.depth[x][v] == self.h]
+
+    # -- Lemma III.7 / III.6 structures -----------------------------------
+
+    def in_tree_to(self, c: int) -> Dict[int, int]:
+        """The union of tree-path edges from each root to *c*, as a map
+        ``node -> next node towards c``.  Lemma III.7: this is an
+        in-tree rooted at c (each node has one outgoing pointer)."""
+        nxt: Dict[int, int] = {}
+        for x in self.sources:
+            path = self.tree_path(x, c)
+            if path is None:
+                continue
+            for a, b in zip(path, path[1:]):
+                old = nxt.get(a)
+                if old is not None and old != b:
+                    raise AssertionError(
+                        f"Lemma III.7 violated: node {a} points to both "
+                        f"{old} and {b} on paths towards {c}")
+                nxt[a] = b
+        nxt.pop(c, None)
+        return nxt
+
+    def out_tree_from(self, c: int) -> Dict[int, int]:
+        """The union of tree-path edges from *c* to each of its
+        descendants across all trees, as ``node -> parent towards c``.
+        Lemma III.6: this is an out-tree rooted at c, i.e. each
+        descendant has a unique predecessor."""
+        pred: Dict[int, int] = {}
+        for x in self.sources:
+            if not self.contains(x, c):
+                continue
+            # walk c's subtree in T_x
+            stack = [c]
+            while stack:
+                u = stack.pop()
+                for w in self.children(x, u):
+                    old = pred.get(w)
+                    if old is not None and old != u:
+                        raise AssertionError(
+                            f"Lemma III.6 violated: node {w} has "
+                            f"predecessors {old} and {u} below {c}")
+                    pred[w] = u
+                    stack.append(w)
+        return pred
+
+    # -- Definition III.3 verification -------------------------------------
+
+    def check_consistency(self) -> None:
+        """Verify Definition III.3 on this collection.
+
+        1. every tree has height <= h, valid parent chains, and tree
+           distances that equal the actual edge-weight sum along the
+           tree path (so every recorded distance is a genuine path);
+        2. coverage and exactness: every node whose min-hop shortest
+           path uses <= h hops is present with exactly ``(delta,
+           minhop)``; any node present whose min-hop shortest path fits
+           in the construction's 2h-hop window also carries ``delta``
+           (the weak (2h, k)-SSP contract); other members carry genuine
+           path weights ``>= delta``;
+        3. for every pair u, v: the u-to-v subpath is identical in every
+           tree in which it exists.
+        """
+        graph: WeightedDigraph = self._graph  # type: ignore[attr-defined]
+        for x in self.sources:
+            d_true, l_true, _ = dijkstra_min_hops_cached(self, x)
+            for v in range(self.n):
+                if self.contains(x, v):
+                    path = self.tree_path(x, v)
+                    assert path is not None
+                    if len(path) - 1 > self.h:
+                        raise AssertionError(
+                            f"T_{x} height violated at {v}: {len(path) - 1} hops")
+                    wsum = sum(graph.weight(a, b) for a, b in zip(path, path[1:]))
+                    if wsum != self.dist[x][v]:
+                        raise AssertionError(
+                            f"T_{x} path weight to {v} is {wsum}, recorded "
+                            f"{self.dist[x][v]}")
+                    if l_true[v] <= 2 * self.h and self.dist[x][v] != d_true[v]:
+                        raise AssertionError(
+                            f"T_{x} distance wrong at {v}: "
+                            f"{self.dist[x][v]} != {d_true[v]}")
+                    if self.dist[x][v] < d_true[v]:
+                        raise AssertionError(
+                            f"T_{x} distance below delta at {v}")
+                elif l_true[v] <= self.h:
+                    raise AssertionError(
+                        f"T_{x} must contain {v} (minhop {l_true[v]} <= h)")
+
+        # pairwise subpath consistency
+        subpath: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        for x in self.sources:
+            for v in range(self.n):
+                path = self.tree_path(x, v)
+                if path is None:
+                    continue
+                for i in range(len(path)):
+                    for j in range(i + 1, len(path)):
+                        key = (path[i], path[j])
+                        seg = tuple(path[i:j + 1])
+                        old = subpath.get(key)
+                        if old is not None and old != seg:
+                            raise AssertionError(
+                                f"Definition III.3 violated for pair {key}: "
+                                f"{old} vs {seg}")
+                        subpath[key] = seg
+
+
+def dijkstra_min_hops_cached(coll: CSSSPCollection, x: int):
+    """Memoize oracle runs on the collection object for the O(n^2)
+    consistency sweep (a module-level cache keyed by ``id()`` would be
+    poisoned by id reuse after garbage collection)."""
+    from ..graphs.reference import dijkstra_min_hops
+    cache = getattr(coll, "_oracle_cache", None)
+    if cache is None:
+        cache = {}
+        coll._oracle_cache = cache  # type: ignore[attr-defined]
+    hit = cache.get(x)
+    if hit is None:
+        hit = dijkstra_min_hops(coll._graph, x)  # type: ignore[attr-defined]
+        cache[x] = hit
+    return hit
+
+
+def build_csssp(graph: WeightedDigraph, sources: Sequence[int], h: int,
+                delta: Optional[int] = None, **kwargs) -> CSSSPCollection:
+    """Construct an h-hop CSSSP collection (Lemma III.4): run Algorithm 1
+    with hop bound ``2h``, then retain the first ``h`` hops of every
+    tree.  Costs one (2h, k)-SSP execution --
+    ``O(sqrt(Delta h k) + h + k)`` rounds."""
+    if h < 1:
+        raise ValueError(f"h must be >= 1, got {h}")
+    res: HKSSPResult = run_hk_ssp(graph, sources, 2 * h, delta, **kwargs)
+
+    parent: Dict[int, List[Optional[int]]] = {}
+    dist: Dict[int, List[float]] = {}
+    depth: Dict[int, List[float]] = {}
+    for x in res.sources:
+        px: List[Optional[int]] = [None] * graph.n
+        dx: List[float] = [INF] * graph.n
+        lx: List[float] = [INF] * graph.n
+        for v in range(graph.n):
+            if res.hops[x][v] <= h:
+                # retain the first h hops: node stays, pointer stays
+                px[v] = res.parent[x][v]
+                dx[v] = res.dist[x][v]
+                lx[v] = res.hops[x][v]
+        parent[x] = px
+        dist[x] = dx
+        depth[x] = lx
+
+    coll = CSSSPCollection(
+        sources=res.sources, h=h, n=graph.n,
+        parent=parent, dist=dist, depth=depth,
+        metrics=res.metrics, round_bound=res.round_bound,
+    )
+    coll._graph = graph  # type: ignore[attr-defined]
+    return coll

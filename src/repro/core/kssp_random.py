@@ -1,0 +1,172 @@
+"""Randomized sampled-skeleton k-SSP -- the [13]-style counterpart of
+Algorithm 3.
+
+The paper's Table I compares its deterministic algorithms against the
+randomized ~O(n^{5/4}) APSP of Huang et al. [13].  The structural
+difference that matters at this granularity: where Algorithm 3 *computes*
+a blocker set greedily (Section III-B's whole machinery), the randomized
+approach *samples* one -- take each node independently with probability
+``(c ln n) / h``; with high probability every h-hop segment of every
+min-hop shortest path contains a sampled node, so the sample blocks the
+depth-h tree paths and the rest of the Algorithm 3 pipeline (per-blocker
+SSSP, broadcast, local combine) goes through unchanged.
+
+The implementation is Las-Vegas: after sampling it *checks* the blocker
+property against the CSSSP collection (cheap and local to the trees) and
+resamples on failure, so the output is always exact; ``resamples`` in the
+result records how often the w.h.p. event failed.  Benchmark E16 compares
+the greedy and sampled pipelines head-to-head: the sample skips the
+greedy phase's rounds at the price of a (log n)-factor larger blocker
+set, i.e. more per-blocker SSSP phases -- the deterministic-vs-randomized
+trade the tables in the paper's introduction describe.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..congest import RunMetrics, build_bfs_tree, merge_sequential, pipelined_broadcast
+from ..graphs.digraph import WeightedDigraph
+from .bellman_ford import run_bellman_ford
+from .blocker import verify_blocker_coverage
+from .csssp import CSSSPCollection, build_csssp
+
+INF = float("inf")
+
+
+@dataclass
+class SampledKSSPResult:
+    """Exact k-SSP distances via a sampled blocker set."""
+
+    sources: Tuple[int, ...]
+    h: int
+    dist: Dict[int, List[float]]
+    #: last edge of a shortest path per pair (see KSSPResult.parent).
+    parent: Dict[int, List[Optional[int]]]
+    metrics: RunMetrics
+    blockers: List[int]
+    resamples: int
+    sample_probability: float
+    phase_rounds: Dict[str, int] = field(default_factory=dict)
+
+
+def _sample_blockers(coll: CSSSPCollection, rng: random.Random,
+                     prob: float) -> Tuple[List[int], int]:
+    """Sample nodes until the sample covers all depth-h paths
+    (Las-Vegas); returns (sample, resample count)."""
+    resamples = 0
+    while True:
+        sample = [v for v in range(coll.n) if rng.random() < prob]
+        try:
+            verify_blocker_coverage(coll, sample)
+            return sample, resamples
+        except AssertionError:
+            resamples += 1
+            if resamples > 64:
+                # probability argument failed spectacularly -- fall back
+                # to everything at depth <= h-1 of some tree (always a
+                # valid blocker set) rather than loop forever.
+                fallback = sorted({
+                    v for x in coll.sources
+                    for leaf in coll.leaves_at_depth_h(x)
+                    for v in (coll.tree_path(x, leaf) or [])})
+                return fallback, resamples
+
+
+def run_kssp_sampled(graph: WeightedDigraph, sources: Sequence[int],
+                     h: Optional[int] = None, *,
+                     seed: Optional[int] = None,
+                     c: float = 2.0) -> SampledKSSPResult:
+    """Exact k-SSP with a sampled (instead of greedily computed) blocker
+    set; sampling probability ``min(1, c ln n / h)``.
+
+    The random choices are the *only* difference from
+    :func:`repro.core.kssp.run_kssp_blocker`; exactness is preserved by
+    the Las-Vegas coverage check.
+    """
+    srcs = tuple(dict.fromkeys(sources))
+    if not srcs:
+        raise ValueError("need at least one source")
+    n = graph.n
+    if h is None:
+        h = max(1, int(round(math.sqrt(n))))
+    h = max(1, min(h, n))
+    rng = random.Random(seed)
+    prob = min(1.0, c * math.log(max(2, n)) / h)
+
+    # Step 1: CSSSP (identical to Algorithm 3).
+    coll = build_csssp(graph, srcs, h)
+    metrics = coll.metrics
+    phase_rounds = {"csssp": coll.metrics.rounds}
+
+    # Step 2': sample the blocker set.  Distributedly this is one local
+    # coin flip per node plus a convergecast of the sampled ids over a
+    # BFS tree; we charge the announcement (|Q| + D rounds, pipelined).
+    blockers, resamples = _sample_blockers(coll, rng, prob)
+    bfs = build_bfs_tree(graph, root=0)
+    metrics = merge_sequential(metrics, bfs.metrics)
+    phase_rounds["bfs_tree"] = bfs.metrics.rounds
+    if blockers:
+        _, m = pipelined_broadcast(graph, bfs,
+                                   [("blk", c_) for c_ in blockers])
+        metrics = merge_sequential(metrics, m)
+        phase_rounds["sample_announce"] = m.rounds
+    else:
+        phase_rounds["sample_announce"] = 0
+
+    # Steps 3-4: per-blocker exact SSSP + broadcast of delta_T(x, c).
+    delta_cv: Dict[int, List[float]] = {}
+    parent_cv: Dict[int, List[Optional[int]]] = {}
+    phase_rounds["blocker_sssp"] = 0
+    for c_ in blockers:
+        bf = run_bellman_ford(graph, c_)
+        delta_cv[c_] = bf.dist
+        parent_cv[c_] = bf.parent
+        metrics = merge_sequential(metrics, bf.metrics)
+        phase_rounds["blocker_sssp"] += bf.metrics.rounds
+    phase_rounds["broadcast"] = 0
+    delta_xc: Dict[int, Dict[int, float]] = {}
+    for c_ in blockers:
+        values = [("bc", x, int(coll.dist[x][c_]))
+                  for x in srcs if coll.contains(x, c_)]
+        delta_xc[c_] = {x: coll.dist[x][c_]
+                        for x in srcs if coll.contains(x, c_)}
+        if values:
+            _, m = pipelined_broadcast(graph, bfs, values)
+            metrics = merge_sequential(metrics, m)
+            phase_rounds["broadcast"] += m.rounds
+
+    # Step 5: local combine.
+    dist: Dict[int, List[float]] = {}
+    parent: Dict[int, List[Optional[int]]] = {}
+    for x in srcs:
+        row = [INF] * n
+        prow: List[Optional[int]] = [None] * n
+        for v in range(n):
+            best = coll.dist[x][v]
+            bp = coll.parent[x][v]
+            for c_ in blockers:
+                dxc = delta_xc[c_].get(x, INF)
+                if dxc != INF and delta_cv[c_][v] != INF:
+                    cand = dxc + delta_cv[c_][v]
+                    if cand < best:
+                        best = cand
+                        bp = parent_cv[c_][v] if v != c_ else coll.parent[x][c_]
+            row[v] = best
+            prow[v] = bp
+        dist[x] = row
+        parent[x] = prow
+
+    return SampledKSSPResult(
+        sources=srcs, h=h, dist=dist, parent=parent, metrics=metrics,
+        blockers=blockers, resamples=resamples, sample_probability=prob,
+        phase_rounds=phase_rounds)
+
+
+def run_apsp_sampled(graph: WeightedDigraph, h: Optional[int] = None,
+                     **kwargs) -> SampledKSSPResult:
+    """Randomized APSP via the sampled blocker pipeline."""
+    return run_kssp_sampled(graph, range(graph.n), h, **kwargs)

@@ -1,0 +1,203 @@
+"""The per-node entry list ``list_v`` of Algorithm 1.
+
+``list_v`` is kept sorted by ``(kappa, d, x)``.  Positions are 1-based
+("pos(Z) gives the number of elements at or below Z"), and ``Z.nu`` is the
+number of entries *for Z's source* at or below Z.  The ``insert``
+procedure implements the paper's ``Insert(Z)``: sorted insertion followed
+by removal of the closest non-SP entry for the same source *above* the
+insertion point, if one exists (Steps 1-4 / Observation II.3).
+
+The list also implements the send schedule: an entry fires in round
+``ceil(kappa + pos)``.  Because entries are sorted and positions are
+strictly increasing, at most one entry can fire per round (DESIGN.md
+section 6); :meth:`fire_at` asserts this model constraint.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterator, List, Optional, Tuple
+
+from math import ceil as _ceil
+
+from .entries import Entry
+
+
+class NodeList:
+    """Sorted entry list with the paper's position/nu/eviction semantics."""
+
+    __slots__ = ("_entries", "_keys")
+
+    def __init__(self) -> None:
+        self._entries: List[Entry] = []
+        self._keys: List[Tuple[float, int, int]] = []
+
+    # -- basic container --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Entry]:
+        return iter(self._entries)
+
+    def entries(self) -> List[Entry]:
+        return list(self._entries)
+
+    def pos(self, entry: Entry) -> int:
+        """1-based position of *entry* (the paper's ``pos_v(Z)``)."""
+        i = bisect_left(self._keys, entry.sort_key)
+        while i < len(self._entries) and self._entries[i] is not entry:
+            i += 1
+        if i == len(self._entries):
+            raise ValueError("entry not on list")
+        return i + 1
+
+    # -- paper quantities --------------------------------------------------
+
+    def nu_of(self, entry: Entry) -> int:
+        """``Z.nu``: entries for source ``Z.x`` at or below Z (inclusive)."""
+        i = self.pos(entry) - 1
+        return sum(1 for e in self._entries[:i + 1] if e.x == entry.x)
+
+    def count_for_source_below(self, x: int, sort_key: Tuple[float, int, int]) -> int:
+        """Number of entries for source *x* with key at most *sort_key*
+        (the Step 13 gating count).
+
+        Entries whose sort key ties the candidate's count as "below":
+        a newly inserted entry goes *above* its equal-key twins (see
+        :meth:`insert`), so this is exactly the number that would sit
+        below it -- which is what Observation II.4's accounting
+        ("at least nu- entries with key <= Z.kappa") requires.
+        """
+        i = bisect_right(self._keys, sort_key)
+        return sum(1 for e in self._entries[:i] if e.x == x)
+
+    def entries_for(self, x: int) -> List[Entry]:
+        return [e for e in self._entries if e.x == x]
+
+    def count_for_source(self, x: int) -> int:
+        return sum(1 for e in self._entries if e.x == x)
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, entry: Entry,
+               budget: Optional[int] = None) -> Tuple[int, Optional[Entry]]:
+        """The paper's ``Insert(Z)``.
+
+        Inserts *entry* in sorted order; if the entry count for its source
+        then exceeds *budget* (Invariant 2's per-source allowance,
+        ``sqrt(Delta h / k) + 1``), removes the closest non-SP entry for
+        the same source above the insertion point.  Returns the 1-based
+        insertion position and the removed entry (or ``None``).
+
+        Two reconstruction notes (DESIGN.md section 6 has the full
+        discussion; the conference pseudo-code is ambiguous here and the
+        literal closest-above-on-every-insert reading is refuted by the
+        paper's own Figure 1 instance):
+
+        * **Budget-triggered eviction.**  Eviction exists to enforce
+          Invariant 2; evicting below the budget discards (d, l)-Pareto
+          path information (larger d, fewer hops) that downstream nodes
+          still need for their h-hop answers.  With ``budget=None`` every
+          insert evicts (the literal reading, kept for the ablation
+          benchmark).
+        * **Equal-sort-key ties** place the newcomer *above* existing
+          entries (bisect_right): positions of resident entries never
+          decrease (Lemma II.2) and a freshly derived entry sits
+          at-or-above every entry derived before it, which is what the
+          position monotonicity of Corollary II.8 -- and hence
+          Invariant 1 -- needs when exact duplicate ``(kappa, d, x)``
+          entries arrive via different parents.
+        """
+        i = bisect_right(self._keys, entry.sort_key)
+        self._entries.insert(i, entry)
+        self._keys.insert(i, entry.sort_key)
+        removed: Optional[Entry] = None
+        if budget is None or self.count_for_source(entry.x) > budget:
+            for j in range(i + 1, len(self._entries)):
+                e = self._entries[j]
+                if e.x == entry.x and not e.flag_sp:
+                    removed = e
+                    del self._entries[j]
+                    del self._keys[j]
+                    break
+        return i + 1, removed
+
+    def insert_sp(self, entry: Entry) -> int:
+        """Insert a new flag-d* (shortest-path) entry, without eviction.
+
+        The caller demotes the previous SP entry afterwards and then calls
+        :meth:`evict_over_budget` -- so the old entry is evictable exactly
+        when the Invariant 2 budget demands it, and survives as a
+        (d, l)-Pareto point otherwise (the Figure 1 requirement).
+        Returns the 1-based position.
+        """
+        i = bisect_right(self._keys, entry.sort_key)
+        self._entries.insert(i, entry)
+        self._keys.insert(i, entry.sort_key)
+        return i + 1
+
+    def evict_over_budget(self, entry: Entry, budget: int) -> Optional[Entry]:
+        """If the entry count for ``entry.x`` exceeds *budget*, remove the
+        closest non-SP same-source entry above *entry* (if any).  Returns
+        the victim or ``None``."""
+        if self.count_for_source(entry.x) <= budget:
+            return None
+        i = self.pos(entry) - 1
+        for j in range(i + 1, len(self._entries)):
+            e = self._entries[j]
+            if e.x == entry.x and not e.flag_sp:
+                del self._entries[j]
+                del self._keys[j]
+                return e
+        return None
+
+    def remove(self, entry: Entry) -> None:
+        i = self.pos(entry) - 1
+        del self._entries[i]
+        del self._keys[i]
+
+    # -- send schedule -----------------------------------------------------
+
+    def fire_at(self, r: int) -> Optional[Entry]:
+        """The entry scheduled to be sent in round *r*, i.e. with
+        ``ceil(kappa + pos) == r``; ``None`` if no entry fires.
+
+        Asserts the at-most-one-send property (the CONGEST 1-message
+        constraint is self-enforcing for this schedule, DESIGN.md sec. 6).
+        """
+        ceil = _ceil  # profiled hot loop: avoid attribute lookups
+        hit: Optional[Entry] = None
+        pos = 0
+        for e in self._entries:
+            pos += 1
+            if ceil(e.kappa + pos) == r:
+                if hit is not None:
+                    raise AssertionError(
+                        f"two entries scheduled in round {r}: {hit!r} and {e!r}")
+                hit = e
+        return hit
+
+    def next_fire_after(self, r: int) -> Optional[int]:
+        """Earliest round > *r* in which some entry fires under the
+        current positions, or ``None``."""
+        ceil = _ceil
+        best: Optional[int] = None
+        pos = 0
+        for e in self._entries:
+            pos += 1
+            rr = ceil(e.kappa + pos)
+            if rr > r and (best is None or rr < best):
+                best = rr
+        return best
+
+    def max_entries_any_source(self) -> int:
+        """max over sources of the per-source entry count (Invariant 2)."""
+        counts: dict = {}
+        top = 0
+        for e in self._entries:
+            c = counts.get(e.x, 0) + 1
+            counts[e.x] = c
+            if c > top:
+                top = c
+        return top

@@ -1,0 +1,138 @@
+"""Routing tables -- the user-facing artefact APSP exists for.
+
+In the CONGEST model each node must know, per source, "the last edge on
+a shortest path" (paper, Section I-B).  Flipped around, that is a
+routing table: to forward traffic from ``x`` towards ``v``, follow the
+shortest-path tree of ``x``.  This module turns any of the library's
+APSP/k-SSP results into a queryable, serialisable routing structure and
+validates it against the distances it came from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..graphs.digraph import WeightedDigraph
+
+INF = float("inf")
+
+
+@dataclass
+class Route:
+    """One source->destination route."""
+
+    source: int
+    target: int
+    distance: float
+    path: Tuple[int, ...]
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+    def __str__(self) -> str:
+        chain = " -> ".join(map(str, self.path))
+        return f"{chain}  (weight {self.distance:g}, {self.hops} hops)"
+
+
+class RoutingTable:
+    """Shortest-path routes for a set of sources.
+
+    Build from any result object that exposes ``dist[x][v]`` and
+    ``parent[x][v]`` (``HKSSPResult``, ``BellmanFordKSSPResult``, ...)
+    via :meth:`from_result`, or from raw mappings.
+    """
+
+    def __init__(self, graph: WeightedDigraph,
+                 dist: Mapping[int, Sequence[float]],
+                 parent: Mapping[int, Sequence[Optional[int]]]) -> None:
+        self.graph = graph
+        self.dist = {x: list(row) for x, row in dist.items()}
+        self.parent = {x: list(row) for x, row in parent.items()}
+
+    @classmethod
+    def from_result(cls, graph: WeightedDigraph, result) -> "RoutingTable":
+        return cls(graph, result.dist, result.parent)
+
+    @property
+    def sources(self) -> List[int]:
+        return sorted(self.dist)
+
+    # -- queries -----------------------------------------------------------
+
+    def distance(self, x: int, v: int) -> float:
+        return self.dist[x][v]
+
+    def route(self, x: int, v: int) -> Optional[Route]:
+        """The full shortest route x -> v, or ``None`` if unreachable."""
+        if x not in self.dist:
+            raise KeyError(f"{x} is not a routed source")
+        if self.dist[x][v] == INF:
+            return None
+        path = [v]
+        cur = v
+        while cur != x:
+            cur = self.parent[x][cur]
+            if cur is None or len(path) > self.graph.n:
+                raise ValueError(
+                    f"broken parent chain routing {x} -> {v}")
+            path.append(cur)
+        path.reverse()
+        return Route(source=x, target=v, distance=self.dist[x][v],
+                     path=tuple(path))
+
+    def next_hop(self, x: int, v: int) -> Optional[int]:
+        """The first edge to take from *x* towards *v* (``None`` if
+        unreachable or if v == x)."""
+        r = self.route(x, v)
+        if r is None or len(r.path) < 2:
+            return None
+        return r.path[1]
+
+    def forwarding_table(self, x: int) -> Dict[int, int]:
+        """``{destination: first hop}`` for source *x*."""
+        out: Dict[int, int] = {}
+        for v in range(self.graph.n):
+            nh = self.next_hop(x, v)
+            if nh is not None:
+                out[v] = nh
+        return out
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Every route must be a genuine path whose edge weights sum to
+        the recorded distance, with distances decreasing towards the
+        source along parent pointers."""
+        for x in self.dist:
+            for v in range(self.graph.n):
+                r = self.route(x, v)
+                if r is None:
+                    continue
+                total = 0
+                for a, b in zip(r.path, r.path[1:]):
+                    w = self.graph.weight(a, b)
+                    if w is None:
+                        raise AssertionError(
+                            f"route {x}->{v} uses non-edge ({a},{b})")
+                    total += w
+                if total != r.distance:
+                    raise AssertionError(
+                        f"route {x}->{v} weight {total} != recorded "
+                        f"{r.distance}")
+
+    # -- serialisation ---------------------------------------------------------
+
+    def dumps(self) -> str:
+        """Text form: one ``r <src> <dst> <dist> <path...>`` line per
+        reachable pair."""
+        lines = [f"# repro routes v1 n={self.graph.n}"]
+        for x in self.sources:
+            for v in range(self.graph.n):
+                r = self.route(x, v)
+                if r is not None and v != x:
+                    lines.append(
+                        f"r {x} {v} {int(r.distance)} "
+                        + " ".join(map(str, r.path)))
+        return "\n".join(lines) + "\n"

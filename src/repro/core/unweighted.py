@@ -1,0 +1,144 @@
+"""The unweighted pipelined APSP algorithm of [12] (Lenzen-Peleg style),
+the starting point of the paper (Section II, opening).
+
+Each source starts a BFS; every node keeps, per source, the best (i.e.
+smallest) hop distance seen, stores the estimates sorted by ``(d,
+source)``, and sends the estimate for source ``s`` in round
+``d(s) + pos(s)``.  All estimates settle within ``2n`` rounds and each
+node sends at most one message per source per (d, pos) schedule slot.
+
+Two uses in this library:
+
+* baseline E13 -- the ``2n``-round bound the weighted algorithm
+  generalises;
+* the zero-weight reachability step of Theorem I.5 (Section IV runs
+  exactly this on the zero-weight subgraph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..congest import Envelope, Network, NodeContext, Program, RunMetrics
+from ..graphs.digraph import WeightedDigraph
+
+INF = float("inf")
+
+
+class UnweightedAPSPProgram(Program):
+    """Per-node program of the [12] pipelined unweighted APSP.
+
+    ``restrict_zero`` runs the BFS over zero-weight edges only (the
+    Theorem I.5 reachability step); otherwise every directed edge counts
+    as one hop regardless of weight.
+    """
+
+    def __init__(self, v: int, sources: Sequence[int],
+                 *, restrict_zero: bool = False,
+                 cutoff_round: Optional[int] = None) -> None:
+        self.v = v
+        self.sources = set(sources)
+        self.restrict_zero = restrict_zero
+        self.cutoff_round = cutoff_round
+        self.dist: Dict[int, int] = {}
+        self.parent: Dict[int, Optional[int]] = {}
+        self._sent: Dict[int, Tuple[int, int]] = {}  # source -> (d, pos) sent
+        if v in self.sources:
+            self.dist[v] = 0
+            self.parent[v] = None
+
+    def _order(self) -> List[int]:
+        """Sources sorted by (d, source id); pos(s) = index + 1."""
+        return sorted(self.dist, key=lambda s: (self.dist[s], s))
+
+    def on_send(self, ctx: NodeContext, r: int) -> None:
+        if self.cutoff_round is not None and r > self.cutoff_round:
+            return
+        s = pos = None
+        for i, cand in enumerate(self._order()):
+            slot = (self.dist[cand], i + 1)
+            if self.dist[cand] + i + 1 == r and self._sent.get(cand) != slot:
+                s, pos = cand, i + 1
+                break
+        if s is None:
+            return
+        self._sent[s] = (self.dist[s], pos)
+        payload = (s, self.dist[s])
+        if self.restrict_zero:
+            ctx.send_many((u for u, w in ctx.out_edges if w == 0), payload)
+        else:
+            ctx.broadcast_out(payload)
+
+    def on_receive(self, ctx: NodeContext, r: int, inbox: List[Envelope]) -> None:
+        for env in inbox:
+            s, d_in = env.payload
+            d = d_in + 1
+            if s not in self.dist or d < self.dist[s]:
+                self.dist[s] = d
+                self.parent[s] = env.src
+
+    def next_active_round(self, ctx: NodeContext, r: int) -> Optional[int]:
+        best: Optional[int] = None
+        for i, s in enumerate(self._order()):
+            rr = self.dist[s] + i + 1
+            if rr > r and self._sent.get(s) != (self.dist[s], i + 1):
+                if best is None or rr < best:
+                    best = rr
+        if best is not None and self.cutoff_round is not None and best > self.cutoff_round:
+            return None
+        return best
+
+    def output(self, ctx: NodeContext):
+        return (dict(self.dist), dict(self.parent))
+
+
+@dataclass
+class UnweightedAPSPResult:
+    sources: Tuple[int, ...]
+    dist: Dict[int, List[float]]
+    parent: Dict[int, List[Optional[int]]]
+    metrics: RunMetrics
+    round_bound: int
+
+
+def run_unweighted_apsp(graph: WeightedDigraph,
+                        sources: Optional[Sequence[int]] = None, *,
+                        restrict_zero: bool = False,
+                        cutoff: bool = True) -> UnweightedAPSPResult:
+    """Hop-count APSP (or k-SSP) via [12]'s pipelined BFS.
+
+    With ``restrict_zero=True`` only zero-weight edges are traversed --
+    node v then learns which sources reach it by a zero-weight path (the
+    first step of the Theorem I.5 approximation algorithm).
+    """
+    srcs = tuple(dict.fromkeys(sources)) if sources is not None else tuple(range(graph.n))
+    bound = 2 * graph.n
+    net = Network(graph, lambda v: UnweightedAPSPProgram(
+        v, srcs, restrict_zero=restrict_zero,
+        cutoff_round=bound if cutoff else None))
+    metrics = net.run(max_rounds=4 * graph.n + len(srcs) + 16)
+
+    dist: Dict[int, List[float]] = {s: [INF] * graph.n for s in srcs}
+    parent: Dict[int, List[Optional[int]]] = {s: [None] * graph.n for s in srcs}
+    for v in range(graph.n):
+        dv, pv = net.output_of(v)
+        for s, d in dv.items():
+            dist[s][v] = d
+            parent[s][v] = pv.get(s)
+    return UnweightedAPSPResult(sources=srcs, dist=dist, parent=parent,
+                                metrics=metrics, round_bound=bound)
+
+
+def zero_reachability_distributed(graph: WeightedDigraph
+                                  ) -> Tuple[List[set], RunMetrics]:
+    """Distributed zero-weight reachability (Theorem I.5, first step):
+    ``out[v]`` is the set of sources with a zero-weight path to v.
+    Runs [12] on the zero-weight subgraph in at most 2n rounds."""
+    res = run_unweighted_apsp(graph, restrict_zero=True)
+    out: List[set] = [set() for _ in range(graph.n)]
+    for s in res.sources:
+        for v in range(graph.n):
+            if res.dist[s][v] != INF:
+                out[v].add(s)
+    return out, res.metrics

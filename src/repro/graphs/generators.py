@@ -1,0 +1,364 @@
+"""Seeded graph generators for tests, sweeps, and benchmarks.
+
+Every generator returns a :class:`WeightedDigraph` whose *communication*
+graph is connected (a CONGEST algorithm cannot reach other components),
+and is deterministic given the seed.
+
+Families map to the paper's parameter regimes:
+
+* :func:`random_graph` -- Erdos-Renyi with weight range [0, W]; the basic
+  sweep workload, with a ``zero_fraction`` control because zero-weight
+  edges are the paper's raison d'etre.
+* :func:`bounded_distance_graph` -- distances bounded by a target ``Delta``
+  (Theorem I.3's regime).
+* :func:`zero_cluster_graph` -- clusters glued by zero-weight edges and
+  linked by weighted edges: the adversarial regime where the unweighted
+  pipelining argument of [12] breaks (Section II's motivation).
+* :func:`layered_graph` -- long thin DAG layers; maximises hop counts and
+  stresses the h-hop machinery.
+* :func:`figure1_graph` -- the 4-node example reproducing Figure 1's
+  phenomenon (h-hop parent pointers do not form an h-hop tree).
+* plus :func:`path_graph`, :func:`cycle_graph`, :func:`grid_graph`,
+  :func:`complete_graph`, :func:`star_graph`, :func:`binary_tree_graph`
+  structured topologies for unit tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from .digraph import WeightedDigraph
+
+
+def _rng(seed: Optional[int]) -> random.Random:
+    return random.Random(seed)
+
+
+def _spanning_backbone(n: int, rng: random.Random) -> List[Tuple[int, int]]:
+    """A random spanning tree on 0..n-1 (random attachment), guaranteeing
+    communication connectivity."""
+    edges = []
+    order = list(range(1, n))
+    rng.shuffle(order)
+    placed = [0]
+    for v in order:
+        u = rng.choice(placed)
+        edges.append((u, v))
+        placed.append(v)
+    return edges
+
+
+def _weight(rng: random.Random, w_max: int, zero_fraction: float) -> int:
+    if w_max == 0 or (zero_fraction > 0 and rng.random() < zero_fraction):
+        return 0
+    return rng.randint(1, w_max)
+
+
+def random_graph(n: int, *, p: float = 0.3, w_max: int = 10,
+                 zero_fraction: float = 0.0, directed: bool = True,
+                 seed: Optional[int] = None) -> WeightedDigraph:
+    """Erdos-Renyi graph over a random spanning backbone.
+
+    ``zero_fraction`` of edges get weight 0 (the rest uniform in
+    ``[1, w_max]``).  The backbone makes ``U_G`` connected; for directed
+    graphs backbone edges are added in both directions so that every node
+    is reachable both ways, keeping Delta finite for APSP sweeps.
+    """
+    rng = _rng(seed)
+    g = WeightedDigraph(n, directed=directed)
+    seen = set()
+    for u, v in _spanning_backbone(n, rng):
+        w = _weight(rng, w_max, zero_fraction)
+        g.add_edge(u, v, w)
+        seen.add((u, v))
+        if directed:
+            w2 = _weight(rng, w_max, zero_fraction)
+            g.add_edge(v, u, w2)
+            seen.add((v, u))
+    for u in range(n):
+        for v in range(n):
+            if u == v or (u, v) in seen:
+                continue
+            if not directed and u > v:
+                continue
+            if rng.random() < p:
+                g.add_edge(u, v, _weight(rng, w_max, zero_fraction))
+    return g
+
+
+def bounded_distance_graph(n: int, delta: int, *, p: float = 0.3,
+                           zero_fraction: float = 0.2,
+                           seed: Optional[int] = None) -> WeightedDigraph:
+    """A connected digraph whose shortest-path distances are at most
+    *delta* (Theorem I.3's regime).
+
+    Construction: a zero-weight bidirectional backbone keeps all distances
+    reachable at low weight; extra edges get weights at most
+    ``max(1, delta // 4)`` so no shortest path can exceed delta (any pair
+    is connected by a zero-weight backbone path, so the true distance of
+    every pair is 0 along the backbone -- we therefore give a *fraction*
+    of backbone edges small positive weights summing below delta).
+    """
+    if delta < 1:
+        raise ValueError("delta must be >= 1")
+    rng = _rng(seed)
+    g = WeightedDigraph(n, directed=True)
+    backbone = _spanning_backbone(n, rng)
+    # Spread at most `delta` units of weight over each root-to-leaf chain:
+    # give each backbone edge weight in {0, 1} with expected sum << delta.
+    budget = max(1, delta // max(1, n - 1))
+    for u, v in backbone:
+        w1 = rng.randint(0, budget) if rng.random() > zero_fraction else 0
+        w2 = rng.randint(0, budget) if rng.random() > zero_fraction else 0
+        g.add_edge(u, v, min(w1, delta))
+        g.add_edge(v, u, min(w2, delta))
+    seen = set(g._w)
+    for u in range(n):
+        for v in range(n):
+            if u != v and (u, v) not in seen and rng.random() < p:
+                g.add_edge(u, v, rng.randint(0, delta))
+    return g
+
+
+def zero_cluster_graph(n_clusters: int, cluster_size: int, *,
+                       link_weight_max: int = 8,
+                       seed: Optional[int] = None) -> WeightedDigraph:
+    """Clusters internally connected by zero-weight bidirectional cycles,
+    with weighted links between consecutive clusters.
+
+    This is the structure where replacing weight-d edges by d unweighted
+    edges (the approach of [16], [18]) fails outright, motivating the
+    paper (Section I): most edges have weight zero.
+    """
+    rng = _rng(seed)
+    n = n_clusters * cluster_size
+    g = WeightedDigraph(n, directed=True)
+
+    def member(c: int, i: int) -> int:
+        return c * cluster_size + i
+
+    for c in range(n_clusters):
+        for i in range(cluster_size):
+            a, b = member(c, i), member(c, (i + 1) % cluster_size)
+            if cluster_size > 1 and a != b:
+                g.add_edge(a, b, 0)
+                g.add_edge(b, a, 0)
+    for c in range(n_clusters - 1):
+        a = member(c, rng.randrange(cluster_size))
+        b = member(c + 1, rng.randrange(cluster_size))
+        w = rng.randint(1, link_weight_max)
+        g.add_edge(a, b, w)
+        g.add_edge(b, a, w)
+    return g
+
+
+def layered_graph(layers: int, width: int, *, w_max: int = 4,
+                  zero_fraction: float = 0.3,
+                  seed: Optional[int] = None) -> WeightedDigraph:
+    """A layered DAG (plus a reverse zero-weight spine for communication
+    connectivity): hop counts equal the layer index, stressing h-hop
+    truncation."""
+    rng = _rng(seed)
+    n = layers * width
+    g = WeightedDigraph(n, directed=True)
+
+    def node(l: int, i: int) -> int:
+        return l * width + i
+
+    for l in range(layers - 1):
+        for i in range(width):
+            for j in range(width):
+                if rng.random() < 0.8:
+                    g.add_edge(node(l, i), node(l + 1, j),
+                               _weight(rng, w_max, zero_fraction))
+    # reverse spine for a connected communication graph
+    for l in range(layers - 1):
+        g.add_edge(node(l + 1, 0), node(l, 0), 0)
+    for l in range(layers):
+        for i in range(width - 1):
+            g.add_edge(node(l, i + 1), node(l, i), 0)
+    return g
+
+
+def path_graph(n: int, *, w: int = 1, directed: bool = False) -> WeightedDigraph:
+    """A path 0-1-...-(n-1) with uniform edge weight *w* (the maximal
+    hop-diameter workload; Corollary I.4's crossover lives here)."""
+    g = WeightedDigraph(n, directed=directed)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, w)
+        if directed:
+            g.add_edge(i + 1, i, w)
+    return g
+
+
+def cycle_graph(n: int, *, w: int = 1) -> WeightedDigraph:
+    """An undirected n-cycle with uniform weight *w*."""
+    g = WeightedDigraph(n, directed=False)
+    for i in range(n):
+        if n > 1 and i != (i + 1) % n:
+            g.add_edge(i, (i + 1) % n, w)
+    return g
+
+
+def grid_graph(rows: int, cols: int, *, w_max: int = 5,
+               zero_fraction: float = 0.0,
+               seed: Optional[int] = None) -> WeightedDigraph:
+    """rows x cols undirected grid with random weights."""
+    rng = _rng(seed)
+    g = WeightedDigraph(rows * cols, directed=False)
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                g.add_edge(node(r, c), node(r, c + 1), _weight(rng, w_max, zero_fraction))
+            if r + 1 < rows:
+                g.add_edge(node(r, c), node(r + 1, c), _weight(rng, w_max, zero_fraction))
+    return g
+
+
+def complete_graph(n: int, *, w_max: int = 5, zero_fraction: float = 0.0,
+                   seed: Optional[int] = None) -> WeightedDigraph:
+    """The undirected complete graph with random weights (diameter-1
+    communication; distances settle almost immediately)."""
+    rng = _rng(seed)
+    g = WeightedDigraph(n, directed=False)
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v, _weight(rng, w_max, zero_fraction))
+    return g
+
+
+def star_graph(n: int, *, w: int = 1) -> WeightedDigraph:
+    """A star with hub 0 and n-1 leaves, uniform weight *w*."""
+    g = WeightedDigraph(n, directed=False)
+    for v in range(1, n):
+        g.add_edge(0, v, w)
+    return g
+
+
+def binary_tree_graph(n: int, *, w_max: int = 3,
+                      seed: Optional[int] = None) -> WeightedDigraph:
+    """A complete-ish binary tree (node v hangs off (v-1)//2) with random
+    weights in [0, w_max]."""
+    rng = _rng(seed)
+    g = WeightedDigraph(n, directed=False)
+    for v in range(1, n):
+        g.add_edge((v - 1) // 2, v, rng.randint(0, w_max))
+    return g
+
+
+def figure1_graph() -> WeightedDigraph:
+    """The paper's Figure 1 phenomenon, minimal instance (h = 2).
+
+    Nodes: s=0, a=1, b=2, t=3.  Edges::
+
+        s -a : 2      (direct, 1 hop)
+        s -b : 1
+        b -a : 0
+        a -t : 0
+
+    2-hop shortest distances from s: ``d2(a) = 1`` via s->b->a (2 hops),
+    but ``d2(t) = 2`` via s->a->t only (the cheaper s->b->a->t needs 3
+    hops).  The parent pointer of t is a and the parent pointer of a is b,
+    so the "tree" path t -> a -> b -> s has 3 > h hops and weight 1 != 2:
+    h-hop parent pointers do not form an h-hop tree (Figure 1), which is
+    exactly what CSSSP (Definition III.3) repairs.
+    """
+    g = WeightedDigraph(4, directed=True)
+    g.add_edge(0, 1, 2)   # s -> a
+    g.add_edge(0, 2, 1)   # s -> b
+    g.add_edge(2, 1, 0)   # b -> a
+    g.add_edge(1, 3, 0)   # a -> t
+    # reverse zero edges so the communication graph is connected both ways
+    g.add_edge(1, 0, 2)
+    g.add_edge(2, 0, 1)
+    g.add_edge(1, 2, 0)
+    g.add_edge(3, 1, 0)
+    return g
+
+
+FIGURE1_HOP_BOUND = 2
+
+
+def dumbbell_graph(clique_size: int, bar_length: int, *, w_max: int = 4,
+                   zero_fraction: float = 0.2,
+                   seed: Optional[int] = None) -> WeightedDigraph:
+    """Two cliques joined by a path -- the classic CONGEST bottleneck
+    shape (everything crossing sides squeezes through the bar)."""
+    rng = _rng(seed)
+    n = 2 * clique_size + bar_length
+    g = WeightedDigraph(n, directed=False)
+
+    def clique(offset: int) -> None:
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                g.add_edge(offset + i, offset + j,
+                           _weight(rng, w_max, zero_fraction))
+
+    clique(0)
+    clique(clique_size + bar_length)
+    chain = [clique_size - 1] + \
+        list(range(clique_size, clique_size + bar_length)) + \
+        [clique_size + bar_length]
+    for a, b in zip(chain, chain[1:]):
+        g.add_edge(a, b, _weight(rng, w_max, zero_fraction))
+    return g
+
+
+def broom_graph(handle_length: int, bristles: int, *, w_max: int = 4,
+                seed: Optional[int] = None) -> WeightedDigraph:
+    """A path (the handle) ending in a star (the bristles): maximal hop
+    diameter with a high-degree hotspot -- stresses the pipelined
+    schedule's position bookkeeping at the hub."""
+    rng = _rng(seed)
+    n = handle_length + bristles + 1
+    g = WeightedDigraph(n, directed=False)
+    for i in range(handle_length):
+        g.add_edge(i, i + 1, rng.randint(0, w_max))
+    hub = handle_length
+    for b in range(bristles):
+        g.add_edge(hub, handle_length + 1 + b, rng.randint(0, w_max))
+    return g
+
+
+def caterpillar_graph(spine: int, legs_per_node: int, *, w_max: int = 3,
+                      seed: Optional[int] = None) -> WeightedDigraph:
+    """A path with pendant legs: many depth-h leaves per tree, the
+    workload that makes blocker scores non-trivial."""
+    rng = _rng(seed)
+    n = spine * (1 + legs_per_node)
+    g = WeightedDigraph(n, directed=False)
+    for i in range(spine - 1):
+        g.add_edge(i, i + 1, rng.randint(0, w_max))
+    nxt = spine
+    for i in range(spine):
+        for _ in range(legs_per_node):
+            g.add_edge(i, nxt, rng.randint(0, w_max))
+            nxt += 1
+    return g
+
+
+def heavy_tail_graph(n: int, *, p: float = 0.3, w_cap: int = 10 ** 6,
+                     seed: Optional[int] = None) -> WeightedDigraph:
+    """Random digraph with heavy-tailed (power-law-ish) weights: most
+    edges near-zero, a few enormous -- the regime where Theorem I.3
+    (distance-bounded) wildly beats Theorem I.2 (weight-bounded)."""
+    rng = _rng(seed)
+    g = WeightedDigraph(n, directed=True)
+    def hw() -> int:
+        # inverse-power sample in [0, w_cap]
+        u = rng.random()
+        return min(w_cap, int((1.0 / max(u, 1e-9)) ** 1.5) - 1)
+    for u, v in _spanning_backbone(n, rng):
+        g.add_edge(u, v, hw())
+        g.add_edge(v, u, hw())
+    seen = set(g._w)
+    for u in range(n):
+        for v in range(n):
+            if u != v and (u, v) not in seen and rng.random() < p:
+                g.add_edge(u, v, hw())
+    return g

@@ -1,0 +1,132 @@
+"""Graph transforms used by the paper's reductions.
+
+Every reduction in the paper (and one classical one it argues *against*)
+is a weight transform over a fixed topology:
+
+* :func:`scaled_graph` -- Section IV's ``G'``: zero weights to 1,
+  positive ``w`` to ``n^2 w``.  Distances satisfy
+  ``n^2 delta(u,v) <= delta'(u,v) <= n^2 delta(u,v) + (n-1)`` for pairs
+  without a zero path.
+* :func:`rounded_graph` -- per-scale rounding ``w -> ceil(w/rho)`` with
+  a rational ``rho = num/den`` (the Theorem IV.1 substrate).
+* :func:`reduced_graph` -- Gabow's per-source reduced weights
+  ``w_hat(u,v) = (w >> shift) + 2 D(u) - 2 D(v)`` (Section V's open
+  problem; used by :mod:`repro.core.scaling`).
+* :func:`unit_weights` -- forget weights (hop metric).
+* :func:`weight_expanded_graph` -- the classical expansion of a
+  weight-``d`` edge into ``d`` unit edges through fresh nodes.  The
+  paper's Section I observes this "fails when zero weight edges may be
+  present": a zero-weight edge has no unit-edge representation, so the
+  transform *requires positive weights* (and blows the node count up to
+  ``n + sum(w - 1)``) -- both failure modes are exposed here and
+  demonstrated in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .digraph import GraphError, WeightedDigraph
+
+INF = float("inf")
+
+
+def scaled_graph(graph: WeightedDigraph) -> WeightedDigraph:
+    """Section IV's ``G'``: ``w' = 1`` for zero edges, ``n^2 w`` else."""
+    n2 = graph.n * graph.n
+    g = WeightedDigraph(graph.n, directed=True)
+    for u, v, w in graph.edges():
+        g.add_edge(u, v, 1 if w == 0 else n2 * w)
+    return g
+
+
+def rounded_graph(graph: WeightedDigraph, num: int, den: int) -> WeightedDigraph:
+    """``w -> ceil(w * den / num)``, i.e. rounding up by ``rho = num/den``
+    kept in exact integer arithmetic."""
+    if num <= 0 or den <= 0:
+        raise ValueError("rho must be a positive rational num/den")
+    g = WeightedDigraph(graph.n, directed=True)
+    for u, v, w in graph.edges():
+        g.add_edge(u, v, -((-w * den) // num))
+    return g
+
+
+def reduced_graph(graph: WeightedDigraph, shift: int,
+                  potentials: Sequence[float]) -> Optional[WeightedDigraph]:
+    """Gabow's reduced weights for one source: ``(w >> shift) + 2p(u) -
+    2p(v)`` where ``p`` are the previous-scale distances from the source.
+
+    Edges with an unreachable endpoint are dropped (they cannot lie on a
+    shortest path from the source); returns ``None`` if no edge remains.
+    The triangle inequality of the potentials guarantees non-negativity,
+    which is asserted.
+    """
+    g = WeightedDigraph(graph.n, directed=True)
+    any_edge = False
+    for u, v, w in graph.edges():
+        pu, pv = potentials[u], potentials[v]
+        if pu == INF or pv == INF:
+            continue
+        red = (w >> shift) + 2 * int(pu) - 2 * int(pv)
+        if red < 0:
+            raise ValueError(
+                f"reduced weight negative on ({u},{v}): potentials are not "
+                "valid previous-scale distances")
+        g.add_edge(u, v, red)
+        any_edge = True
+    return g if any_edge else None
+
+
+def unit_weights(graph: WeightedDigraph) -> WeightedDigraph:
+    """Same topology, every edge weight 1 (the hop metric)."""
+    g = WeightedDigraph(graph.n, directed=True)
+    for u, v, _w in graph.edges():
+        g.add_edge(u, v, 1)
+    return g
+
+
+def zero_subgraph(graph: WeightedDigraph) -> WeightedDigraph:
+    """Only the zero-weight edges (Section IV's reachability step).
+    Nodes are kept even if isolated."""
+    g = WeightedDigraph(graph.n, directed=True)
+    for u, v, w in graph.edges():
+        if w == 0:
+            g.add_edge(u, v, 0)
+    return g
+
+
+def weight_expanded_graph(graph: WeightedDigraph
+                          ) -> Tuple[WeightedDigraph, List[int]]:
+    """The classical reduction the paper's introduction rules out:
+    replace each weight-``d`` edge by ``d`` unit edges through ``d - 1``
+    fresh nodes, so unweighted (BFS) distances in the expansion equal
+    weighted distances in the original.
+
+    Returns ``(expanded graph, mapping)`` where ``mapping[v]`` is the
+    expanded-graph id of original node ``v``.  Raises
+    :class:`~repro.graphs.digraph.GraphError` if any edge has weight 0 --
+    the zero-weight failure mode motivating the whole paper.
+    """
+    for u, v, w in graph.edges():
+        if w == 0:
+            raise GraphError(
+                f"edge ({u},{v}) has weight 0: the unit-edge expansion is "
+                "undefined for zero weights (paper, Section I)")
+    total = graph.n + sum(w - 1 for _u, _v, w in graph.edges())
+    g = WeightedDigraph(total, directed=True)
+    mapping = list(range(graph.n))
+    nxt = graph.n
+    for u, v, w in graph.edges():
+        prev = u
+        for _step in range(w - 1):
+            g.add_edge(prev, nxt, 1)
+            prev = nxt
+            nxt += 1
+        g.add_edge(prev, v, 1)
+    return g, mapping
+
+
+def expansion_blowup(graph: WeightedDigraph) -> int:
+    """Node count of the weight expansion -- the cost the paper's direct
+    approach avoids (``n + sum(w-1)``, i.e. Theta(m W) nodes)."""
+    return graph.n + sum(max(0, w - 1) for _u, _v, w in graph.edges())

@@ -1,0 +1,149 @@
+"""Cross-checks between distance structures.
+
+These helpers compare a distributed algorithm's output against the
+sequential oracles and verify structural invariants (triangle inequality,
+hop monotonicity, tree well-formedness).  Tests and the benchmark harness
+share them so that a benchmark never reports a round count for a *wrong*
+answer.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from .digraph import WeightedDigraph
+from .hop_limited import hop_limited_sssp
+from .reference import dijkstra, path_from_parents
+
+INF = float("inf")
+
+
+class ValidationError(AssertionError):
+    """A distance structure failed validation."""
+
+
+def assert_distances_equal(got: Mapping[int, Sequence[float]],
+                           want: Mapping[int, Sequence[float]],
+                           *, context: str = "") -> None:
+    """Compare per-source distance vectors exactly (inf == inf)."""
+    if set(got) != set(want):
+        raise ValidationError(
+            f"{context}: source sets differ: got {sorted(got)} want {sorted(want)}")
+    for s in want:
+        gv, wv = list(got[s]), list(want[s])
+        if len(gv) != len(wv):
+            raise ValidationError(
+                f"{context}: length mismatch for source {s}")
+        for v, (a, b) in enumerate(zip(gv, wv)):
+            if a != b:
+                raise ValidationError(
+                    f"{context}: dist[{s}][{v}] = {a}, oracle says {b}")
+
+
+def assert_h_hop_correct(graph: WeightedDigraph,
+                         got: Mapping[int, Sequence[float]], h: int,
+                         *, context: str = "h-hop") -> None:
+    """Check per-source h-hop distances against the sequential DP."""
+    want = {s: hop_limited_sssp(graph, s, h)[0] for s in got}
+    assert_distances_equal(got, want, context=f"{context} (h={h})")
+
+
+def assert_weak_h_hop_contract(graph: WeightedDigraph,
+                               dist: Mapping[int, Sequence[float]],
+                               hops: Mapping[int, Sequence[float]],
+                               h: int, *, context: str = "(h,k)-SSP") -> None:
+    """Verify the paper's (h, k)-SSP output contract (DESIGN.md sec. 6).
+
+    For every source x and node v:
+
+    1. if some shortest x->v path has at most *h* hops
+       (``minhop(x, v) <= h``): the output must be exactly
+       ``(delta(x, v), minhop(x, v))`` -- this is what Theorem I.1
+       guarantees by the cutoff round;
+    2. otherwise the output is either absent (``inf``) or the weight of a
+       genuine path with at most ``hops <= h`` edges -- hence at least the
+       h-hop DP optimum, and strictly above ``delta`` -- reflecting that
+       entries for longer-hop shortest paths may still be in flight when
+       the algorithm stops.
+    """
+    from .reference import dijkstra_min_hops  # local to avoid cycle
+    for x in dist:
+        d_true, l_true, _ = dijkstra_min_hops(graph, x)
+        dp_h, _ = hop_limited_sssp(graph, x, h)
+        for v in range(graph.n):
+            got_d, got_l = dist[x][v], hops[x][v]
+            if l_true[v] <= h:
+                if got_d != d_true[v] or got_l != l_true[v]:
+                    raise ValidationError(
+                        f"{context}: guaranteed pair ({x}->{v}) wrong: got "
+                        f"(d={got_d}, l={got_l}), want (d={d_true[v]}, "
+                        f"l={l_true[v]})")
+            elif got_d != INF:
+                if got_l > h:
+                    raise ValidationError(
+                        f"{context}: output hop count {got_l} exceeds h={h} "
+                        f"for ({x}->{v})")
+                if got_d < dp_h[v]:
+                    raise ValidationError(
+                        f"{context}: optional pair ({x}->{v}) reports "
+                        f"d={got_d} below the h-hop optimum {dp_h[v]} -- "
+                        f"not a real path weight")
+
+
+def assert_apsp_correct(graph: WeightedDigraph,
+                        got: Mapping[int, Sequence[float]],
+                        *, context: str = "apsp") -> None:
+    """Check per-source exact distances against Dijkstra."""
+    want = {s: dijkstra(graph, s)[0] for s in got}
+    assert_distances_equal(got, want, context=context)
+
+
+def assert_triangle_inequality(graph: WeightedDigraph,
+                               dist: Sequence[Sequence[float]]) -> None:
+    """For every edge (u, v, w) and source s: d[s][v] <= d[s][u] + w."""
+    for u, v, w in graph.edges():
+        for s in range(graph.n):
+            if dist[s][u] + w < dist[s][v]:
+                raise ValidationError(
+                    f"triangle inequality violated: d[{s}][{v}]={dist[s][v]} "
+                    f"> d[{s}][{u}]+w({u},{v}) = {dist[s][u]}+{w}")
+
+
+def assert_hop_monotone(graph: WeightedDigraph, source: int, h_max: int) -> None:
+    """h-hop distances are non-increasing in h (oracle self-check)."""
+    prev = None
+    for h in range(h_max + 1):
+        cur, _ = hop_limited_sssp(graph, source, h)
+        if prev is not None:
+            for v in range(graph.n):
+                if cur[v] > prev[v]:
+                    raise ValidationError(
+                        f"h-hop distance increased with h at v={v}: "
+                        f"h={h - 1} gives {prev[v]}, h={h} gives {cur[v]}")
+        prev = cur
+
+
+def assert_tree_parents(graph: WeightedDigraph, source: int,
+                        parent: Sequence[Optional[int]],
+                        dist: Sequence[float],
+                        *, hop_bound: Optional[int] = None) -> None:
+    """Validate a shortest-path tree: each parent pointer is a real edge,
+    distances are consistent along pointers, the pointer path reaches the
+    source, and (if given) its hop length respects *hop_bound*."""
+    for v in range(graph.n):
+        if v == source or parent[v] is None:
+            continue
+        p = parent[v]
+        w = graph.weight(p, v)
+        if w is None:
+            raise ValidationError(f"parent edge ({p},{v}) not in graph")
+        if dist[p] + w != dist[v]:
+            raise ValidationError(
+                f"tree distance inconsistent at {v}: d[{p}]+w = "
+                f"{dist[p]}+{w} != {dist[v]}")
+        path = path_from_parents(parent, source, v)
+        if path is None:
+            raise ValidationError(f"node {v} has a parent but no path to source")
+        if hop_bound is not None and len(path) - 1 > hop_bound:
+            raise ValidationError(
+                f"tree path to {v} has {len(path) - 1} hops > bound {hop_bound}")

@@ -1,0 +1,55 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.graphs import WeightedDigraph, random_graph
+
+
+def make_graph(seed: int, *, n_lo: int = 3, n_hi: int = 12,
+               w_max: int = 6, zero_fraction: float = 0.3,
+               directed: bool = True) -> WeightedDigraph:
+    rng = random.Random(seed)
+    n = rng.randint(n_lo, n_hi)
+    return random_graph(n, p=0.3, w_max=w_max, zero_fraction=zero_fraction,
+                        directed=directed, seed=seed)
+
+
+@st.composite
+def graph_instances(draw, *, n_lo: int = 2, n_hi: int = 10,
+                    w_choices=(0, 1, 5, 20), zero_choices=(0.0, 0.3, 0.7)):
+    """A hypothesis strategy producing (graph, seed) pairs over the
+    interesting regimes: tiny to moderate n, zero-heavy to zero-free,
+    unit to larger weights, directed and undirected."""
+    seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+    n = draw(st.integers(min_value=n_lo, max_value=n_hi))
+    w_max = draw(st.sampled_from(w_choices))
+    zf = draw(st.sampled_from(zero_choices))
+    directed = draw(st.booleans())
+    g = random_graph(n, p=0.35, w_max=w_max, zero_fraction=zf,
+                     directed=directed, seed=seed)
+    return g, seed
+
+
+@st.composite
+def hk_instances(draw):
+    """(graph, sources, h) triples for (h, k)-SSP property tests."""
+    g, seed = draw(graph_instances())
+    rng = random.Random(seed ^ 0x5EED)
+    h = draw(st.integers(min_value=1, max_value=g.n))
+    k = draw(st.integers(min_value=1, max_value=g.n))
+    sources = rng.sample(range(g.n), k)
+    return g, sources, h
+
+
+@pytest.fixture
+def small_graph() -> WeightedDigraph:
+    """A fixed 6-node digraph with zero weights used across unit tests."""
+    return WeightedDigraph.from_edges(6, [
+        (0, 1, 2), (1, 2, 0), (2, 3, 1), (3, 4, 0), (4, 5, 3),
+        (0, 2, 3), (2, 4, 4), (1, 4, 0), (5, 0, 1), (4, 0, 0),
+    ])

@@ -1,0 +1,124 @@
+"""Tests for the (1+eps)-approximate APSP (Theorem I.5)."""
+
+import random
+
+import pytest
+
+from repro.core import run_approx_apsp, verify_approx_ratio
+from repro.graphs import WeightedDigraph, dijkstra, random_graph, zero_cluster_graph
+
+INF = float("inf")
+
+
+class TestApproximationGuarantee:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_ratio_within_eps(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(5, 10)
+        g = random_graph(n, p=0.35, w_max=rng.choice([1, 6]),
+                         zero_fraction=0.4, seed=seed)
+        eps = rng.choice([e for e in (0.5, 1.0, 2.0) if e > 3.0 / n])
+        res = run_approx_apsp(g, eps)
+        worst = verify_approx_ratio(g, res)  # raises on violation
+        assert 1.0 <= worst <= 1.0 + eps
+
+    def test_zero_pairs_exact(self):
+        """Pairs joined by zero-weight paths must come out exactly 0 --
+        the whole point of the Section IV reduction."""
+        g = zero_cluster_graph(3, 3, seed=1)
+        res = run_approx_apsp(g, 0.5)
+        d_true = [dijkstra(g, s)[0] for s in range(g.n)]
+        zero_pairs = [(x, v) for x in range(g.n) for v in range(g.n)
+                      if d_true[x][v] == 0]
+        assert len(zero_pairs) > g.n  # clusters create nontrivial ones
+        for x, v in zero_pairs:
+            assert res.dist[x][v] == 0
+
+    def test_unreachable_pairs_stay_inf(self):
+        g = WeightedDigraph.from_edges(3, [(0, 1, 2), (1, 2, 0)])
+        res = run_approx_apsp(g, 1.0)
+        assert res.dist[2][0] == INF
+        assert res.dist[0][2] == pytest.approx(2, rel=1.0)
+
+    def test_estimates_never_below_true(self):
+        g = random_graph(8, p=0.4, w_max=5, zero_fraction=0.3, seed=9)
+        res = run_approx_apsp(g, 1.0)
+        for x in range(g.n):
+            want = dijkstra(g, x)[0]
+            for v in range(g.n):
+                if want[v] != INF:
+                    assert res.dist[x][v] >= want[v] - 1e-12
+
+
+class TestParameterValidation:
+    def test_eps_nonpositive_rejected(self):
+        g = random_graph(6, p=0.4, w_max=3, seed=1)
+        with pytest.raises(ValueError):
+            run_approx_apsp(g, 0.0)
+        with pytest.raises(ValueError):
+            run_approx_apsp(g, -0.5)
+
+    def test_eps_below_3_over_n_rejected(self):
+        g = random_graph(10, p=0.4, w_max=3, seed=1)
+        with pytest.raises(ValueError, match="3/n"):
+            run_approx_apsp(g, 0.2)
+
+    def test_smaller_eps_tighter_estimates(self):
+        g = random_graph(8, p=0.4, w_max=6, zero_fraction=0.3, seed=4)
+        tight = run_approx_apsp(g, 0.5)
+        loose = run_approx_apsp(g, 2.0)
+        assert verify_approx_ratio(g, tight) <= 1.5
+        assert verify_approx_ratio(g, loose) <= 3.0
+
+
+class TestPhases:
+    def test_phase_rounds_recorded(self):
+        g = random_graph(7, p=0.4, w_max=4, zero_fraction=0.4, seed=2)
+        res = run_approx_apsp(g, 1.0)
+        assert res.phase_rounds["zero_reachability"] <= 2 * g.n
+        assert res.phase_rounds["scales"] > 0
+        assert res.scales >= 1
+
+    def test_all_zero_graph(self):
+        g = random_graph(7, p=0.4, w_max=0, seed=3)
+        res = run_approx_apsp(g, 1.0)
+        verify_approx_ratio(g, res)
+
+
+class TestPositiveSubstrate:
+    """run_approx_apsp_positive -- the Theorem IV.1 building block."""
+
+    def test_ratio_on_positive_graphs(self):
+        from repro.core import run_approx_apsp_positive, verify_approx_ratio
+        for seed in range(5):
+            g = random_graph(8, p=0.35, w_max=9, zero_fraction=0.0, seed=seed)
+            res = run_approx_apsp_positive(g, 0.5)
+            assert verify_approx_ratio(g, res) <= 1.5
+
+    def test_rejects_zero_weights(self):
+        from repro.core import run_approx_apsp_positive
+        g = random_graph(8, p=0.4, w_max=5, zero_fraction=0.5, seed=1)
+        with pytest.raises(ValueError, match="positive"):
+            run_approx_apsp_positive(g, 0.5)
+
+    def test_rejects_bad_eps(self):
+        from repro.core import run_approx_apsp_positive
+        g = random_graph(6, p=0.4, w_max=3, zero_fraction=0.0, seed=1)
+        with pytest.raises(ValueError):
+            run_approx_apsp_positive(g, 0.0)
+
+
+class TestEpsResolution:
+    """Regression (code review): tiny eps used to surface as a cryptic
+    'rho must be a positive rational' error from deep in the transform."""
+
+    def test_tiny_eps_named_clearly(self):
+        from repro.core import run_approx_apsp_positive
+        g = random_graph(6, p=0.4, w_max=3, zero_fraction=0.0, seed=1)
+        with pytest.raises(ValueError, match="eps"):
+            run_approx_apsp_positive(g, 1e-9)
+
+    def test_tiny_eps_small_n(self):
+        g = WeightedDigraph.from_edges(2, [(0, 1, 3), (1, 0, 3)])
+        with pytest.raises(ValueError, match="eps"):
+            run_approx_apsp(g, 1e-9)

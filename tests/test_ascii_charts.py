@@ -1,0 +1,47 @@
+"""Tests for the dependency-free ASCII charting."""
+
+from repro.analysis import sparkline, xy_chart
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_ramp(self):
+        out = sparkline([0, 1, 2, 3])
+        assert len(out) == 4
+        assert out[0] < out[-1]  # block characters are ordered
+
+    def test_constant_series(self):
+        out = sparkline([5, 5, 5])
+        assert len(set(out)) == 1
+
+    def test_downsampling(self):
+        out = sparkline(list(range(100)), width=10)
+        assert len(out) == 10
+
+    def test_all_zero(self):
+        out = sparkline([0, 0, 0])
+        assert len(out) == 3
+
+
+class TestXYChart:
+    def test_empty_series(self):
+        assert xy_chart({}, title="t") == "t"
+
+    def test_axes_and_legend(self):
+        out = xy_chart({"a": [(0, 0), (10, 5)], "b": [(5, 2)]},
+                       title="T", xlabel="x", ylabel="y")
+        assert "T" in out
+        assert "o = a" in out and "x = b" in out
+        assert "0" in out and "10" in out
+        lines = out.splitlines()
+        assert any("+" in l and "-" in l for l in lines)  # x axis
+
+    def test_markers_placed(self):
+        out = xy_chart({"s": [(0, 0), (1, 1)]}, width=10, height=5)
+        assert out.count("o") >= 2
+
+    def test_single_point(self):
+        out = xy_chart({"s": [(3, 7)]})
+        assert "o" in out

@@ -1,0 +1,153 @@
+"""Tests for the baseline algorithms: unweighted pipelined [12],
+positive-weight pipeline ([16]/[18] substrate), distributed Bellman-Ford."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    run_bellman_ford,
+    run_bellman_ford_apsp,
+    run_bellman_ford_kssp,
+    run_positive_apsp,
+    run_unweighted_apsp,
+    zero_reachability_distributed,
+)
+from repro.graphs import (
+    WeightedDigraph,
+    dijkstra,
+    hop_limited_sssp,
+    random_graph,
+    zero_reachability,
+)
+
+INF = float("inf")
+
+
+def hop_graph(g: WeightedDigraph) -> WeightedDigraph:
+    """Same topology, all weights 1 (the BFS oracle graph)."""
+    uni = WeightedDigraph(g.n)
+    for u, v, _w in g.edges():
+        uni.add_edge(u, v, 1)
+    return uni
+
+
+class TestUnweightedPipelined:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_hop_distances(self, seed):
+        rng = random.Random(seed)
+        g = random_graph(rng.randint(3, 14), p=0.3, w_max=9,
+                         zero_fraction=0.3, seed=seed)
+        res = run_unweighted_apsp(g)
+        oracle = hop_graph(g)
+        for s in range(g.n):
+            assert res.dist[s] == dijkstra(oracle, s)[0]
+
+    def test_2n_round_bound(self):
+        for seed in range(6):
+            g = random_graph(12, p=0.25, w_max=3, seed=seed)
+            res = run_unweighted_apsp(g)
+            assert res.metrics.rounds <= 2 * g.n
+
+    def test_k_source_subset(self):
+        g = random_graph(10, p=0.3, w_max=3, seed=1)
+        res = run_unweighted_apsp(g, sources=[2, 5])
+        assert set(res.dist) == {2, 5}
+
+    def test_zero_reachability_matches_oracle(self):
+        for seed in range(8):
+            g = random_graph(10, p=0.35, w_max=4, zero_fraction=0.5, seed=seed)
+            got, metrics = zero_reachability_distributed(g)
+            want = zero_reachability(g)
+            for v in range(g.n):
+                assert got[v] == {s for s in range(g.n) if v in want[s]}
+            assert metrics.rounds <= 2 * g.n
+
+
+class TestPositivePipeline:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_exact_vs_dijkstra(self, seed):
+        rng = random.Random(seed)
+        g = random_graph(rng.randint(3, 14), p=0.3,
+                         w_max=rng.choice([1, 7, 30]),
+                         zero_fraction=0.0, seed=seed)
+        res = run_positive_apsp(g)
+        for s in range(g.n):
+            assert res.dist[s] == dijkstra(g, s)[0]
+
+    def test_round_bound_delta_plus_k(self):
+        g = random_graph(12, p=0.3, w_max=5, zero_fraction=0.0, seed=4)
+        res = run_positive_apsp(g)
+        assert res.metrics.rounds <= res.round_bound
+
+    def test_rejects_zero_weights(self):
+        g = random_graph(8, p=0.4, w_max=5, zero_fraction=0.5, seed=3)
+        with pytest.raises(ValueError, match="zero"):
+            run_positive_apsp(g)
+
+    def test_zero_weight_failure_mode(self):
+        """The paper's motivation, demonstrated: the [12]-style schedule
+        silently computes wrong distances once zero edges exist."""
+        g = random_graph(8, p=0.4, w_max=5, zero_fraction=0.5, seed=3)
+        res = run_positive_apsp(g, _allow_zero=True)
+        wrong = sum(1 for s in range(g.n) if res.dist[s] != dijkstra(g, s)[0])
+        assert wrong > 0
+
+    def test_distance_cap_drops_far_pairs(self):
+        g = WeightedDigraph.from_edges(3, [(0, 1, 2), (1, 2, 9)])
+        res = run_positive_apsp(g, distance_cap=5)
+        assert res.dist[0][1] == 2
+        assert res.dist[0][2] == INF  # 11 > cap
+
+    def test_distance_cap_preserves_near_pairs(self):
+        for seed in range(5):
+            g = random_graph(9, p=0.35, w_max=4, zero_fraction=0.0, seed=seed)
+            cap = 6
+            res = run_positive_apsp(g, distance_cap=cap)
+            for s in range(g.n):
+                want = dijkstra(g, s)[0]
+                for v in range(g.n):
+                    if want[v] <= cap:
+                        assert res.dist[s][v] == want[v]
+
+
+class TestBellmanFord:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_exact_sssp(self, seed):
+        rng = random.Random(seed)
+        g = random_graph(rng.randint(3, 14), p=0.3, w_max=6,
+                         zero_fraction=0.3, seed=seed)
+        s = rng.randrange(g.n)
+        res = run_bellman_ford(g, s)
+        assert res.dist == dijkstra(g, s)[0]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_h_hop_dp_semantics(self, seed):
+        """Truncated Bellman-Ford computes the *strong* h-hop DP
+        distances -- stronger than Algorithm 1's contract."""
+        rng = random.Random(seed)
+        g = random_graph(rng.randint(3, 12), p=0.3, w_max=6,
+                         zero_fraction=0.3, seed=seed)
+        s, h = rng.randrange(g.n), rng.randint(1, g.n)
+        res = run_bellman_ford(g, s, max_hops=h)
+        want, _ = hop_limited_sssp(g, s, h)
+        assert res.dist == want
+
+    def test_warm_start(self):
+        g = WeightedDigraph.from_edges(3, [(0, 1, 2), (1, 2, 3)])
+        res = run_bellman_ford(g, 0, initial={1: 2})
+        assert res.dist == [0, 2, 5]
+
+    def test_kssp_merges_metrics(self):
+        g = random_graph(8, p=0.35, w_max=4, zero_fraction=0.2, seed=6)
+        r1 = run_bellman_ford(g, 0)
+        r2 = run_bellman_ford(g, 1)
+        both = run_bellman_ford_kssp(g, [0, 1])
+        assert both.metrics.rounds == r1.metrics.rounds + r2.metrics.rounds
+        assert both.dist[0] == r1.dist and both.dist[1] == r2.dist
+
+    def test_apsp(self):
+        g = random_graph(7, p=0.4, w_max=4, zero_fraction=0.3, seed=2)
+        res = run_bellman_ford_apsp(g)
+        for s in range(g.n):
+            assert res.dist[s] == dijkstra(g, s)[0]

@@ -1,0 +1,143 @@
+"""Unit tests for the individual distributed phases of the blocker-set
+machinery (Section III-B), run on hand-built instances where the correct
+intermediate values are known by inspection."""
+
+import pytest
+
+from repro.congest import Network
+from repro.core import build_csssp
+from repro.core.blocker import (
+    AncestorUpdateProgram,
+    ChildrenDiscoveryProgram,
+    DescendantUpdateProgram,
+    ScoreInitProgram,
+    tree_scores,
+)
+from repro.graphs import WeightedDigraph, path_graph
+
+
+@pytest.fixture
+def chain():
+    """An unweighted path 0-1-2-3-4 with all nodes as sources, h=2:
+    tree structure is known exactly."""
+    g = path_graph(5)
+    coll = build_csssp(g, list(range(5)), 2)
+    return g, coll
+
+
+def discover_children(g, coll):
+    net = Network(g, lambda v: ChildrenDiscoveryProgram(v, coll))
+    net.run(max_rounds=len(coll.sources) + 2)
+    return net.outputs(), net
+
+
+class TestChildrenDiscovery:
+    def test_children_match_collection(self, chain):
+        g, coll = chain
+        children, _ = discover_children(g, coll)
+        for v in range(g.n):
+            for x, kids in children[v].items():
+                assert sorted(kids) == sorted(coll.children(x, v))
+
+    def test_every_parent_learned(self, chain):
+        g, coll = chain
+        children, _ = discover_children(g, coll)
+        for x in coll.sources:
+            for v in coll.tree_nodes(x):
+                p = coll.parent[x][v]
+                if p is not None:
+                    assert v in children[p].get(x, [])
+
+    def test_rounds_at_most_k(self, chain):
+        g, coll = chain
+        _, net = discover_children(g, coll)
+        assert net.metrics.rounds <= len(coll.sources)
+
+
+class TestScoreInit:
+    def test_scores_match_reference(self, chain):
+        g, coll = chain
+        children, _ = discover_children(g, coll)
+        net = Network(g, lambda v: ScoreInitProgram(v, coll, children[v]))
+        net.run(max_rounds=200)
+        got = net.outputs()
+        want = tree_scores(coll, covered=set())
+        for v in range(g.n):
+            for x, s in got[v].items():
+                assert s == want[v].get(x, 0), (v, x)
+
+    def test_path_tree_root_score(self, chain):
+        """On the path with h=2, T_0 has exactly one depth-2 leaf (node
+        2), so score_0(0) must be 1."""
+        g, coll = chain
+        children, _ = discover_children(g, coll)
+        net = Network(g, lambda v: ScoreInitProgram(v, coll, children[v]))
+        net.run(max_rounds=200)
+        assert net.output_of(0)[0] == 1
+
+
+class TestUpdatePrograms:
+    def _scores(self, g, coll):
+        children, _ = discover_children(g, coll)
+        net = Network(g, lambda v: ScoreInitProgram(v, coll, children[v]))
+        net.run(max_rounds=200)
+        return [dict(s) for s in net.outputs()], children
+
+    def test_ancestor_update_subtracts(self, chain):
+        g, coll = chain
+        scores, children = self._scores(g, coll)
+        c = 1  # pick node 1 as the new blocker
+        c_scores = dict(scores[c])
+        net = Network(g, lambda v: AncestorUpdateProgram(
+            v, coll, c, c_scores, scores[v]))
+        net.run(max_rounds=100)
+        # ancestors of c in each tree have c's contribution removed
+        for x in coll.sources:
+            if not coll.contains(x, c) or x == c:
+                continue
+            path = coll.tree_path(x, c)
+            for anc in path[:-1]:
+                want = tree_scores(coll, covered=set())[anc].get(x, 0) \
+                    - c_scores.get(x, 0)
+                assert scores[anc].get(x, 0) == want, (x, anc)
+
+    def test_descendant_update_zeroes(self, chain):
+        g, coll = chain
+        scores, children = self._scores(g, coll)
+        c = 1
+        net = Network(g, lambda v: DescendantUpdateProgram(
+            v, coll, c, children[v], scores[v]))
+        m = net.run(max_rounds=100)
+        # c's own scores zeroed, every descendant's tree-score zeroed
+        assert all(s == 0 for s in scores[c].values())
+        for x in coll.sources:
+            if not coll.contains(x, c):
+                continue
+            stack = list(coll.children(x, c))
+            while stack:
+                u = stack.pop()
+                assert scores[u].get(x, 0) == 0, (x, u)
+                stack.extend(coll.children(x, u))
+        # Lemma III.8
+        assert m.rounds <= len(coll.sources) + coll.h - 1 + 1
+
+    def test_descendant_update_leaves_unrelated_alone(self, chain):
+        g, coll = chain
+        scores, children = self._scores(g, coll)
+        before = [dict(s) for s in scores]
+        c = 4  # a path endpoint: few descendants
+        net = Network(g, lambda v: DescendantUpdateProgram(
+            v, coll, c, children[v], scores[v]))
+        net.run(max_rounds=100)
+        # nodes that are not descendants of c in any tree keep all scores
+        descendants = {c}
+        for x in coll.sources:
+            if coll.contains(x, c):
+                stack = list(coll.children(x, c))
+                while stack:
+                    u = stack.pop()
+                    descendants.add(u)
+                    stack.extend(coll.children(x, u))
+        for v in range(g.n):
+            if v not in descendants:
+                assert scores[v] == before[v], v

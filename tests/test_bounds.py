@@ -1,0 +1,99 @@
+"""Tests for the closed-form bound formulas (repro.bounds)."""
+
+import math
+
+import pytest
+
+from repro import bounds
+
+
+class TestTheorem11:
+    def test_hk_ssp_formula(self):
+        assert bounds.theorem11_hk_ssp(4, 9, 4) == math.ceil(2 * 12 + 9 + 4)
+
+    def test_apsp_is_hk_with_n(self):
+        n, delta = 10, 16
+        assert bounds.theorem11_apsp(n, delta) == math.ceil(2 * n * 4 + 2 * n)
+
+    def test_kssp_interpolates(self):
+        n, delta = 10, 9
+        # k = n must give the APSP bound
+        assert bounds.theorem11_k_ssp(n, n, delta) == bounds.theorem11_apsp(n, delta)
+
+    def test_monotone_in_delta(self):
+        vals = [bounds.theorem11_apsp(10, d) for d in (1, 4, 16, 64)]
+        assert vals == sorted(vals)
+
+
+class TestLemmaII15:
+    def test_dilation_single_source(self):
+        assert bounds.short_range_dilation(4, 9, 1) == math.ceil(6 + 4)
+
+    def test_congestion(self):
+        assert bounds.short_range_congestion(9, 100, 1) == 4  # sqrt(9)+1
+
+
+class TestOptimalH:
+    def test_distance_bounded_balances_terms(self):
+        """The returned h should (roughly) balance n^2 log n / h against
+        sqrt(Delta h k) -- check it is within a factor 4 of the true
+        argmin over integer h."""
+        n, k, delta = 64, 64, 50
+        h_star = bounds.optimal_h_distance_bounded(n, k, delta)
+        best_h = min(range(1, n + 1),
+                     key=lambda h: bounds.lemma32_kssp(n, k, h, delta))
+        f = bounds.lemma32_kssp
+        assert f(n, k, h_star, delta) <= 4 * f(n, k, best_h, delta)
+
+    def test_weight_bounded_in_range(self):
+        for n in (8, 32, 128):
+            for w in (1, 10, 100):
+                h = bounds.optimal_h_weight_bounded(n, n, w)
+                assert 1 <= h <= n
+
+    def test_larger_weight_smaller_h(self):
+        hs = [bounds.optimal_h_weight_bounded(64, 64, w) for w in (1, 16, 256)]
+        assert hs == sorted(hs, reverse=True)
+
+
+class TestCorollary14:
+    def test_eps_zero_recovers_baseline_scaling(self):
+        n = 100
+        assert bounds.corollary14_weight_regime(n, 0.0) == pytest.approx(
+            bounds.agarwal18_baseline(n) * math.sqrt(math.log(n)))
+
+    def test_improvement_grows_with_eps(self):
+        n = 100
+        vals = [bounds.corollary14_weight_regime(n, e) for e in (0.0, 0.5, 1.0)]
+        assert vals == sorted(vals, reverse=True)
+        vals = [bounds.corollary14_distance_regime(n, e) for e in (0.0, 0.5, 1.0)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_below_baseline_for_positive_eps(self):
+        n = 10 ** 4  # large enough that the log factor is dominated
+        assert bounds.corollary14_weight_regime(n, 1.0) < bounds.agarwal18_baseline(n)
+
+
+class TestMisc:
+    def test_blocker_size_bound_with_paths(self):
+        assert bounds.blocker_set_size_bound(100, 10, paths=1000) == pytest.approx(
+            10 * math.log(1000) + 1)
+
+    def test_lemma38(self):
+        assert bounds.lemma38_descendant_update(5, 7) == 11
+
+    def test_theorem15(self):
+        assert bounds.theorem15_approx_apsp(100, 0.5) == pytest.approx(
+            400 * math.log(100))
+
+    def test_bound_check_dataclass(self):
+        ok = bounds.BoundCheck("x", 5, 10)
+        bad = bounds.BoundCheck("y", 15, 10)
+        assert ok.ok and not bad.ok
+        assert ok.ratio == 0.5
+        assert "OK" in str(ok) and "FAIL" in str(bad)
+
+    def test_baseline_bounds(self):
+        assert bounds.unweighted_pipelined_bound(10) == 20
+        assert bounds.positive_pipelined_bound(10, 30) == 40
+        assert bounds.bellman_ford_apsp_bound(10, 5) == 50

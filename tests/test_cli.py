@@ -1,0 +1,168 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.graphs import io as gio
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    rc = main(list(argv), out=out)
+    return rc, out.getvalue()
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "g.txt"
+    rc, _ = run_cli("gen", "-n", "10", "--seed", "3", "-o", str(path))
+    assert rc == 0
+    return str(path)
+
+
+class TestGen:
+    def test_gen_to_stdout(self):
+        rc, out = run_cli("gen", "-n", "6", "--seed", "1")
+        assert rc == 0
+        g = gio.loads(out)
+        assert g.n == 6
+
+    def test_gen_families(self, tmp_path):
+        for fam in ("random", "zero-cluster", "bounded-distance"):
+            path = tmp_path / f"{fam}.txt"
+            rc, _ = run_cli("gen", "--family", fam, "-n", "8",
+                            "--seed", "2", "-o", str(path))
+            assert rc == 0
+            assert gio.load(path).is_comm_connected()
+
+    def test_gen_deterministic(self):
+        _, a = run_cli("gen", "-n", "8", "--seed", "5")
+        _, b = run_cli("gen", "-n", "8", "--seed", "5")
+        assert a == b
+
+
+class TestInfo:
+    def test_info_fields(self, graph_file):
+        rc, out = run_cli("info", graph_file)
+        assert rc == 0
+        for field in ("nodes:", "edges:", "max weight", "Delta",
+                      "zero-weight edges", "comm connected"):
+            assert field in out
+
+
+class TestAlgorithms:
+    @pytest.mark.parametrize("method", ["pipelined", "blocker",
+                                        "bellman-ford", "scaling", "auto"])
+    def test_apsp_methods(self, graph_file, method):
+        rc, out = run_cli("apsp", graph_file, "--method", method, "-q")
+        assert rc == 0
+        assert "rounds:" in out
+
+    def test_apsp_prints_matrix(self, graph_file):
+        rc, out = run_cli("apsp", graph_file, "--method", "pipelined")
+        assert rc == 0
+        assert out.count("\n") >= 10  # metrics + 10 rows
+
+    def test_kssp(self, graph_file):
+        rc, out = run_cli("kssp", graph_file, "--sources", "0,3", "-q")
+        assert rc == 0
+        assert "rounds:" in out
+
+    def test_hkssp(self, graph_file):
+        rc, out = run_cli("hkssp", graph_file, "--sources", "0",
+                          "--hops", "2")
+        assert rc == 0
+        assert "gamma=" in out and "bound" in out
+
+    def test_approx_with_verify(self, graph_file):
+        rc, out = run_cli("approx", graph_file, "--eps", "1.0",
+                          "--verify", "-q")
+        assert rc == 0
+        assert "worst measured ratio" in out
+
+
+class TestBounds:
+    def test_bounds_output(self):
+        rc, out = run_cli("bounds", "-n", "64", "--delta", "50",
+                          "--w-max", "8")
+        assert rc == 0
+        assert "Theorem I.1(ii) APSP" in out
+        assert "optimal h" in out
+
+
+class TestErrors:
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            run_cli()
+
+    def test_unknown_family(self):
+        with pytest.raises(SystemExit):
+            run_cli("gen", "--family", "torus")
+
+
+class TestBenchCommand:
+    def test_bench_single_experiment(self):
+        rc, out = run_cli("bench", "E13")
+        assert rc == 0
+        assert "E13a" in out and "E13b" in out
+        assert "yes" in out
+
+    def test_bench_unknown_rejected(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            run_cli("bench", "E99")
+
+    def test_bench_case_insensitive(self):
+        rc, out = run_cli("bench", "e4")
+        assert rc == 0
+        assert "E4" in out
+
+
+class TestExplainCommand:
+    def test_explain_renders_story(self, graph_file):
+        rc, out = run_cli("explain", graph_file, "--source", "0",
+                          "--node", "5")
+        assert rc == 0
+        assert "pair 0 -> 5" in out
+
+    def test_explain_with_hop_bound(self, graph_file):
+        rc, out = run_cli("explain", graph_file, "--source", "0",
+                          "--node", "5", "--hops", "1")
+        assert rc == 0
+
+
+class TestUserErrorHandling:
+    """Expected user errors exit 2 with one clean line (found during
+    end-to-end verification -- they used to traceback)."""
+
+    def test_missing_graph_file(self, capsys):
+        rc = main(["apsp", "no_such_file.graph", "-q"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_sources_string(self, graph_file, capsys):
+        rc = main(["kssp", graph_file, "--sources", "0,banana", "-q"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_graph(self, tmp_path, capsys):
+        bad = tmp_path / "bad.graph"
+        bad.write_text("n 3 directed\ne 0 9 4\n")
+        rc = main(["info", str(bad)])
+        assert rc == 2
+        assert "out of range" in capsys.readouterr().err
+
+
+class TestGenAdjustmentNote:
+    def test_zero_cluster_note_when_n_adjusted(self, capsys):
+        rc, out = run_cli("gen", "--family", "zero-cluster", "-n", "10",
+                          "--clusters", "4")
+        assert rc == 0
+        assert "note:" in capsys.readouterr().err
+
+    def test_no_note_when_n_divides(self, capsys):
+        rc, out = run_cli("gen", "--family", "zero-cluster", "-n", "12",
+                          "--clusters", "4")
+        assert rc == 0
+        assert "note:" not in capsys.readouterr().err

@@ -1,0 +1,48 @@
+"""Unit tests for CONGEST message size accounting."""
+
+import pytest
+
+from repro.congest import Envelope, payload_words
+from repro.congest.message import MessageSizeError
+
+
+class TestPayloadWords:
+    def test_scalars_are_one_word(self):
+        assert payload_words(5) == 1
+        assert payload_words(0) == 1
+        assert payload_words(-3) == 1
+        assert payload_words(3.5) == 1
+        assert payload_words(True) == 1
+        assert payload_words(None) == 1
+        assert payload_words("tag") == 1
+
+    def test_tuple_sums_fields(self):
+        assert payload_words((1, 2, 3)) == 3
+        assert payload_words((1, (2, 3), 4)) == 4
+        assert payload_words(()) == 0
+
+    def test_list_sums_fields(self):
+        assert payload_words([1, 2]) == 2
+
+    def test_dict_counts_keys_and_values(self):
+        assert payload_words({"d": 3, "l": 4}) == 4
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            payload_words(object())
+
+    def test_algorithm1_message_fits_default_budget(self):
+        # (d, l, x, flag, nu): the Algorithm 1 payload
+        assert payload_words((17, 3, 9, True, 2)) == 5 <= 8
+
+
+class TestEnvelope:
+    def test_make_caches_word_count(self):
+        env = Envelope.make(0, 1, 7, (4, 2, 0, False, 1))
+        assert env.words == 5
+        assert env.src == 0 and env.dst == 1 and env.round == 7
+
+    def test_envelope_is_frozen(self):
+        env = Envelope.make(0, 1, 1, (1,))
+        with pytest.raises(AttributeError):
+            env.src = 2

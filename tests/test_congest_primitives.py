@@ -1,0 +1,121 @@
+"""Tests for BFS tree construction, pipelined broadcast, convergecast."""
+
+import random
+
+import pytest
+
+from repro.congest import (
+    broadcast_single,
+    build_bfs_tree,
+    convergecast_max,
+    convergecast_sum,
+    pipelined_broadcast,
+)
+from repro.graphs import (
+    WeightedDigraph,
+    eccentricity_bound,
+    grid_graph,
+    path_graph,
+    random_graph,
+    star_graph,
+)
+
+
+class TestBFSTree:
+    def test_path_graph_depths(self):
+        g = path_graph(5)
+        tree = build_bfs_tree(g, 0)
+        assert tree.depths == [0, 1, 2, 3, 4]
+        assert tree.parents == [None, 0, 1, 2, 3]
+        assert tree.height == 4
+        # the deepest node still announces once after adopting its depth
+        assert tree.metrics.rounds == 5
+
+    def test_star_graph(self):
+        g = star_graph(6)
+        tree = build_bfs_tree(g, 0)
+        assert tree.depths == [0, 1, 1, 1, 1, 1]
+        assert tree.children[0] == [1, 2, 3, 4, 5]
+
+    def test_depths_match_bfs_on_random_graphs(self):
+        for seed in range(10):
+            g = random_graph(random.Random(seed).randint(3, 12),
+                             p=0.3, w_max=3, seed=seed)
+            root = seed % g.n
+            tree = build_bfs_tree(g, root)
+            # BFS oracle over comm graph
+            depth = {root: 0}
+            frontier = [root]
+            while frontier:
+                nxt = []
+                for u in frontier:
+                    for v in g.comm_neighbors(u):
+                        if v not in depth:
+                            depth[v] = depth[u] + 1
+                            nxt.append(v)
+                frontier = nxt
+            for v in range(g.n):
+                assert tree.depths[v] == depth.get(v)
+
+    def test_rounds_at_most_diameter_plus_one(self):
+        for seed in range(5):
+            g = random_graph(10, p=0.3, w_max=2, seed=seed)
+            tree = build_bfs_tree(g, 0)
+            assert tree.metrics.rounds <= eccentricity_bound(g) + 1
+
+
+class TestPipelinedBroadcast:
+    def test_all_nodes_receive_in_order(self):
+        g = path_graph(6)
+        tree = build_bfs_tree(g, 0)
+        values = [("v", i) for i in range(7)]
+        received, m = pipelined_broadcast(g, tree, values)
+        for v in range(6):
+            assert received[v] == values
+        # k values over height-5 tree: k + height rounds
+        assert m.rounds <= len(values) + tree.height
+
+    def test_empty_values(self):
+        g = path_graph(3)
+        tree = build_bfs_tree(g, 0)
+        received, m = pipelined_broadcast(g, tree, [])
+        assert received == [[], [], []]
+        assert m.rounds == 0
+
+    def test_single_broadcast(self):
+        g = grid_graph(3, 3, w_max=1)
+        tree = build_bfs_tree(g, 4)
+        vals, m = broadcast_single(g, tree, ("id", 42))
+        assert all(v == ("id", 42) for v in vals)
+
+    def test_pipelining_beats_sequential(self):
+        # k values down a deep path: pipelined k+D << sequential k*D
+        g = path_graph(10)
+        tree = build_bfs_tree(g, 0)
+        k = 8
+        _, m = pipelined_broadcast(g, tree, list(range(k)))
+        assert m.rounds <= k + tree.height
+        assert m.rounds < k * tree.height
+
+
+class TestConvergecast:
+    def test_sum_over_path(self):
+        g = path_graph(5)
+        tree = build_bfs_tree(g, 0)
+        total, m = convergecast_sum(g, tree, [1, 2, 3, 4, 5])
+        assert total == 15
+        assert m.rounds <= tree.height + 1
+
+    def test_max_with_argmax_tiebreak(self):
+        g = star_graph(5)
+        tree = build_bfs_tree(g, 0)
+        locals_ = [(3, -0), (7, -1), (7, -2), (1, -3), (0, -4)]
+        (best, neg_v), _ = convergecast_max(g, tree, locals_)
+        assert best == 7 and -neg_v == 1  # ties break to smaller id
+
+    def test_sum_single_node(self):
+        g = WeightedDigraph(1)
+        tree = build_bfs_tree(g, 0)
+        total, m = convergecast_sum(g, tree, [9])
+        assert total == 9
+        assert m.rounds == 0

@@ -1,0 +1,42 @@
+"""Determinism: identical inputs give bit-identical executions.
+
+The simulator, the algorithms, and the seeded generators are all
+deterministic; any nondeterminism (set iteration, dict ordering, float
+context) would make round counts irreproducible and EXPERIMENTS.md
+unstable.  Two independent runs must agree on everything measurable.
+"""
+
+import pytest
+
+from repro.core import (
+    run_approx_apsp,
+    run_apsp,
+    run_apsp_blocker,
+    run_hk_ssp,
+    run_scaling_apsp,
+    run_short_range,
+)
+from repro.graphs import random_graph
+
+
+def snapshots(res):
+    m = res.metrics
+    return (m.rounds, m.messages, m.words, dict(m.channel_messages),
+            dict(m.node_sends))
+
+
+@pytest.mark.parametrize("runner,kwargs", [
+    (run_apsp, {}),
+    (run_apsp_blocker, {"h": 3}),
+    (run_scaling_apsp, {}),
+    (lambda g: run_hk_ssp(g, [0, 3, 7], 4), {}),
+    (lambda g: run_short_range(g, 2, 5), {}),
+    (lambda g: run_approx_apsp(g, 1.0), {}),
+])
+def test_two_runs_identical(runner, kwargs):
+    g1 = random_graph(12, p=0.3, w_max=6, zero_fraction=0.3, seed=21)
+    g2 = random_graph(12, p=0.3, w_max=6, zero_fraction=0.3, seed=21)
+    a = runner(g1, **kwargs)
+    b = runner(g2, **kwargs)
+    assert snapshots(a) == snapshots(b)
+    assert a.dist == b.dist

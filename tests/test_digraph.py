@@ -1,0 +1,125 @@
+"""Unit tests for the weighted digraph substrate."""
+
+import pytest
+
+from repro.graphs import GraphError, WeightedDigraph
+
+
+class TestConstruction:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            WeightedDigraph(0)
+
+    def test_single_node(self):
+        g = WeightedDigraph(1)
+        assert g.n == 1 and g.m == 0
+        assert g.out_edges(0) == ()
+        assert g.is_comm_connected()
+
+    def test_add_edge_and_query(self):
+        g = WeightedDigraph(3)
+        g.add_edge(0, 1, 5)
+        g.add_edge(1, 2, 0)
+        assert g.weight(0, 1) == 5
+        assert g.weight(1, 0) is None
+        assert g.has_edge(1, 2)
+        assert g.max_weight == 5
+        assert g.m == 2
+
+    def test_negative_weight_rejected(self):
+        g = WeightedDigraph(2)
+        with pytest.raises(GraphError, match="non-negative"):
+            g.add_edge(0, 1, -1)
+
+    def test_non_integer_weight_rejected(self):
+        g = WeightedDigraph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, 1.5)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, True)
+
+    def test_self_loop_rejected(self):
+        g = WeightedDigraph(2)
+        with pytest.raises(GraphError, match="self-loop"):
+            g.add_edge(1, 1, 0)
+
+    def test_out_of_range_rejected(self):
+        g = WeightedDigraph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 2, 1)
+        with pytest.raises(GraphError):
+            g.add_edge(-1, 0, 1)
+
+    def test_parallel_edges_keep_minimum(self):
+        g = WeightedDigraph(2)
+        g.add_edge(0, 1, 5)
+        g.add_edge(0, 1, 3)
+        g.add_edge(0, 1, 7)
+        assert g.weight(0, 1) == 3
+        assert g.m == 1
+
+    def test_frozen_after_query(self):
+        g = WeightedDigraph(3)
+        g.add_edge(0, 1, 1)
+        _ = g.out_edges(0)
+        with pytest.raises(GraphError, match="frozen"):
+            g.add_edge(1, 2, 1)
+
+
+class TestUndirected:
+    def test_undirected_adds_both_directions(self):
+        g = WeightedDigraph(3, directed=False)
+        g.add_edge(0, 1, 4)
+        assert g.weight(0, 1) == 4
+        assert g.weight(1, 0) == 4
+
+    def test_undirected_from_edges(self):
+        g = WeightedDigraph.undirected_from_edges(3, [(0, 1, 2), (1, 2, 3)])
+        assert not g.directed
+        assert g.weight(2, 1) == 3
+
+
+class TestAdjacency:
+    def test_in_out_comm(self):
+        g = WeightedDigraph.from_edges(4, [(0, 1, 2), (2, 1, 3), (1, 3, 0)])
+        assert g.out_edges(1) == ((3, 0),)
+        assert set(g.in_edges(1)) == {(0, 2), (2, 3)}
+        assert g.comm_neighbors(1) == (0, 2, 3)
+
+    def test_reverse(self):
+        g = WeightedDigraph.from_edges(3, [(0, 1, 2), (1, 2, 3)])
+        r = g.reverse()
+        assert r.weight(1, 0) == 2
+        assert r.weight(2, 1) == 3
+        assert r.weight(0, 1) is None
+
+    def test_underlying_undirected_collapses_min(self):
+        g = WeightedDigraph.from_edges(2, [(0, 1, 5), (1, 0, 2)])
+        u = g.underlying_undirected()
+        assert u.weight(0, 1) == 2 and u.weight(1, 0) == 2
+
+    def test_connectivity_detection(self):
+        g = WeightedDigraph.from_edges(4, [(0, 1, 1), (2, 3, 1)])
+        assert not g.is_comm_connected()
+        g2 = WeightedDigraph.from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)])
+        assert g2.is_comm_connected()
+
+    def test_edges_sorted_deterministic(self):
+        g = WeightedDigraph.from_edges(3, [(2, 0, 1), (0, 1, 2), (1, 2, 3)])
+        assert list(g.edges()) == [(0, 1, 2), (1, 2, 3), (2, 0, 1)]
+
+
+class TestReverseDirectedness:
+    """Regression (code review): reverse() used to flag undirected
+    graphs as directed, flipping the serialisation header."""
+
+    def test_undirected_reverse_is_identity(self):
+        g = WeightedDigraph.undirected_from_edges(3, [(0, 1, 2), (1, 2, 5)])
+        r = g.reverse()
+        assert not r.directed
+        assert list(r.edges()) == list(g.edges())
+
+    def test_directed_reverse_still_directed(self):
+        g = WeightedDigraph.from_edges(2, [(0, 1, 7)])
+        r = g.reverse()
+        assert r.directed and r.weight(1, 0) == 7 and r.weight(0, 1) is None

@@ -1,0 +1,156 @@
+"""Tests for the graph generators: determinism, connectivity, ranges."""
+
+import pytest
+
+from repro.graphs import (
+    FIGURE1_HOP_BOUND,
+    binary_tree_graph,
+    bounded_distance_graph,
+    complete_graph,
+    cycle_graph,
+    figure1_graph,
+    grid_graph,
+    hop_limited_sssp,
+    layered_graph,
+    path_graph,
+    random_graph,
+    shortest_path_diameter,
+    star_graph,
+    zero_cluster_graph,
+)
+
+
+class TestRandomGraph:
+    def test_deterministic_given_seed(self):
+        g1 = random_graph(12, p=0.3, w_max=7, zero_fraction=0.4, seed=5)
+        g2 = random_graph(12, p=0.3, w_max=7, zero_fraction=0.4, seed=5)
+        assert list(g1.edges()) == list(g2.edges())
+
+    def test_different_seeds_differ(self):
+        g1 = random_graph(12, p=0.3, w_max=7, seed=1)
+        g2 = random_graph(12, p=0.3, w_max=7, seed=2)
+        assert list(g1.edges()) != list(g2.edges())
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_communication_connected(self, seed):
+        g = random_graph(10, p=0.1, w_max=5, seed=seed)
+        assert g.is_comm_connected()
+
+    def test_weight_range_respected(self):
+        g = random_graph(15, p=0.5, w_max=9, zero_fraction=0.0, seed=3)
+        ws = [w for _, _, w in g.edges()]
+        assert all(1 <= w <= 9 for w in ws)
+
+    def test_zero_fraction_produces_zeros(self):
+        g = random_graph(15, p=0.5, w_max=9, zero_fraction=0.9, seed=3)
+        ws = [w for _, _, w in g.edges()]
+        assert ws.count(0) > len(ws) // 2
+
+    def test_w_max_zero_all_zero(self):
+        g = random_graph(8, p=0.4, w_max=0, seed=1)
+        assert all(w == 0 for _, _, w in g.edges())
+
+    def test_undirected_symmetry(self):
+        g = random_graph(10, p=0.3, w_max=5, directed=False, seed=7)
+        for u, v, w in g.edges():
+            assert g.weight(v, u) == w
+
+
+class TestStructuredFamilies:
+    def test_path(self):
+        g = path_graph(4, w=2)
+        assert g.m == 6  # undirected: 3 edges * 2 directions
+        assert shortest_path_diameter(g) == 6
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.is_comm_connected()
+        assert shortest_path_diameter(g) == 3
+
+    def test_grid_dimensions(self):
+        g = grid_graph(3, 4, w_max=1, seed=0)
+        assert g.n == 12
+        assert g.is_comm_connected()
+
+    def test_complete(self):
+        g = complete_graph(5, w_max=3, seed=1)
+        assert g.m == 5 * 4  # both directions
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.comm_neighbors(0) == tuple(range(1, 7))
+
+    def test_binary_tree(self):
+        g = binary_tree_graph(7, seed=2)
+        assert g.is_comm_connected()
+
+    def test_layered_connected(self):
+        g = layered_graph(4, 3, seed=1)
+        assert g.is_comm_connected()
+
+    def test_zero_cluster_structure(self):
+        g = zero_cluster_graph(3, 4, link_weight_max=5, seed=2)
+        assert g.n == 12
+        assert g.is_comm_connected()
+        zero_edges = sum(1 for _, _, w in g.edges() if w == 0)
+        assert zero_edges >= 3 * 4 * 2 - 2  # intra-cluster rings dominate
+
+    def test_bounded_distance_respects_delta(self):
+        for seed in range(5):
+            delta = 10
+            g = bounded_distance_graph(10, delta, seed=seed)
+            assert shortest_path_diameter(g) <= delta
+
+
+class TestFigure1:
+    def test_phenomenon_present(self):
+        """The h-hop shortest path to t and the h-hop shortest path to
+        its parent a disagree: parent pointers are not an h-hop tree."""
+        g = figure1_graph()
+        h = FIGURE1_HOP_BOUND
+        dist, hops = hop_limited_sssp(g, 0, h)
+        # a (node 1) is best reached via b in 2 hops for weight 1
+        assert dist[1] == 1 and hops[1] == 2
+        # t (node 3) needs the 1-hop-to-a prefix: weight 2 in 2 hops
+        assert dist[3] == 2 and hops[3] == 2
+        # pointer chain t -> a -> b -> s would have 3 > h hops
+        assert hops[1] + 1 > h
+
+
+class TestAdversarialFamilies:
+    def test_dumbbell(self):
+        from repro.graphs import dumbbell_graph, eccentricity_bound
+        g = dumbbell_graph(4, 5, seed=1)
+        assert g.n == 13
+        assert g.is_comm_connected()
+        # the bar dominates the hop diameter
+        assert eccentricity_bound(g) >= 5
+
+    def test_broom(self):
+        from repro.graphs import broom_graph
+        g = broom_graph(6, 5, seed=2)
+        assert g.n == 12
+        assert g.is_comm_connected()
+        hub = 6
+        assert len(g.comm_neighbors(hub)) == 6  # 5 bristles + handle
+
+    def test_caterpillar(self):
+        from repro.graphs import caterpillar_graph
+        g = caterpillar_graph(5, 3, seed=3)
+        assert g.n == 20
+        assert g.is_comm_connected()
+
+    def test_heavy_tail(self):
+        from repro.graphs import heavy_tail_graph
+        g = heavy_tail_graph(14, seed=4)
+        assert g.is_comm_connected()
+        ws = sorted(w for _, _, w in g.edges())
+        # heavy tail: median far below max
+        assert ws[len(ws) // 2] * 4 <= max(ws[-1], 4)
+
+    def test_new_families_deterministic(self):
+        from repro.graphs import dumbbell_graph, heavy_tail_graph
+        assert list(dumbbell_graph(3, 2, seed=9).edges()) == \
+            list(dumbbell_graph(3, 2, seed=9).edges())
+        assert list(heavy_tail_graph(8, seed=9).edges()) == \
+            list(heavy_tail_graph(8, seed=9).edges())

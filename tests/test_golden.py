@@ -1,0 +1,46 @@
+"""Golden regression tests: fixed graphs with frozen expected outputs.
+
+These catch any silent behavioural drift in the distance algorithms or
+the serialisation format -- the fixtures under tests/data/ are committed
+and must keep producing byte-identical answers.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import run_apsp, run_apsp_blocker
+from repro.graphs import io as gio
+
+DATA = Path(__file__).parent / "data"
+CASES = sorted(p.stem.replace(".apsp", "")
+               for p in DATA.glob("*.apsp.json"))
+
+
+def load_case(name):
+    g = gio.load(DATA / f"{name}.graph")
+    mat = json.loads((DATA / f"{name}.apsp.json").read_text())
+    expected = [[float("inf") if d is None else d for d in row]
+                for row in mat]
+    return g, expected
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_golden_pipelined(name):
+    g, expected = load_case(name)
+    res = run_apsp(g)
+    for x in range(g.n):
+        assert res.dist[x] == expected[x], (name, x)
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_golden_blocker(name):
+    g, expected = load_case(name)
+    res = run_apsp_blocker(g)
+    for x in range(g.n):
+        assert res.dist[x] == expected[x], (name, x)
+
+
+def test_fixtures_present():
+    assert len(CASES) >= 3

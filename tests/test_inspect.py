@@ -1,0 +1,55 @@
+"""Tests for the execution inspector."""
+
+from repro.analysis import (
+    explain_pair,
+    node_timeline,
+    render_occupancy,
+    schedule_occupancy,
+    trace_run,
+)
+from repro.graphs import figure1_graph, random_graph
+
+
+class TestExplainPair:
+    def test_improvement_story_monotone(self):
+        g = random_graph(10, p=0.35, w_max=5, zero_fraction=0.3, seed=2)
+        story = explain_pair(g, 0, 7, g.n - 1)
+        # (d, l) strictly improves lexicographically over time
+        pairs = [(d, l) for _r, d, l, _p in story.improvements]
+        assert pairs == sorted(pairs, reverse=True)
+        assert len(set(pairs)) == len(pairs)
+        if story.final:
+            assert (story.final[0], story.final[1]) == pairs[-1]
+        assert "pair 0 -> 7" in story.render()
+
+    def test_unreachable_pair(self):
+        from repro.graphs import WeightedDigraph
+        g = WeightedDigraph.from_edges(2, [(0, 1, 3)])
+        story = explain_pair(g, 1, 0, 1)
+        assert story.final is None
+        assert "never learned" in story.render()
+
+    def test_figure1_story(self):
+        g = figure1_graph()
+        story = explain_pair(g, 0, 1, 3)
+        # a first hears d=2 (direct), then improves to d=1 (via b)
+        ds = [d for _r, d, _l, _p in story.improvements]
+        assert ds[0] == 2 and ds[-1] == 1
+
+
+class TestTimelines:
+    def test_node_timeline_nonempty(self):
+        g = random_graph(8, p=0.35, w_max=4, zero_fraction=0.3, seed=1)
+        res, trace = trace_run(g, [0, 3], 4)
+        lines = node_timeline(trace, 0)
+        assert any("SEND" in l for l in lines)
+        assert all(l.startswith("round") for l in lines)
+
+    def test_schedule_occupancy_bounded_by_n(self):
+        g = random_graph(9, p=0.35, w_max=4, zero_fraction=0.3, seed=4)
+        res, trace = trace_run(g, list(range(9)), 8)
+        occ = schedule_occupancy(trace)
+        assert occ
+        assert max(occ.values()) <= g.n  # one send per node per round
+        out = render_occupancy(trace, g.n)
+        assert "sends per round" in out

@@ -1,0 +1,74 @@
+"""Cross-algorithm integration tests: all implemented exact-APSP methods
+must agree with each other and with Dijkstra on every graph family,
+including the adversarial ones."""
+
+import pytest
+
+from repro.core import (
+    run_apsp,
+    run_apsp_blocker,
+    run_bellman_ford_apsp,
+    run_scaling_apsp,
+)
+from repro.graphs import (
+    broom_graph,
+    caterpillar_graph,
+    dijkstra,
+    dumbbell_graph,
+    grid_graph,
+    heavy_tail_graph,
+    layered_graph,
+    random_graph,
+    zero_cluster_graph,
+)
+
+FAMILIES = {
+    "random": lambda: random_graph(12, p=0.3, w_max=6, zero_fraction=0.3, seed=5),
+    "zero_cluster": lambda: zero_cluster_graph(3, 4, seed=5),
+    "grid": lambda: grid_graph(3, 4, w_max=5, zero_fraction=0.3, seed=5),
+    "layered": lambda: layered_graph(4, 3, seed=5),
+    "dumbbell": lambda: dumbbell_graph(4, 4, seed=5),
+    "broom": lambda: broom_graph(6, 5, seed=5),
+    "caterpillar": lambda: caterpillar_graph(4, 2, seed=5),
+}
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_all_exact_methods_agree(family):
+    g = FAMILIES[family]()
+    oracle = {x: dijkstra(g, x)[0] for x in range(g.n)}
+    a1 = run_apsp(g)
+    a3 = run_apsp_blocker(g)
+    bf = run_bellman_ford_apsp(g)
+    sc = run_scaling_apsp(g)
+    for x in range(g.n):
+        assert a1.dist[x] == oracle[x], ("pipelined", family, x)
+        assert a3.dist[x] == oracle[x], ("blocker", family, x)
+        assert bf.dist[x] == oracle[x], ("bellman-ford", family, x)
+        assert sc.dist[x] == oracle[x], ("scaling", family, x)
+
+
+def test_heavy_tail_distance_vs_weight_regimes():
+    """On heavy-tailed weights the distance-bounded route (Theorem I.3's
+    parametrisation) matters: Delta is far below n*W, so the Theorem I.1
+    bound computed from the true Delta is much tighter than the
+    weight-based worst case."""
+    from repro import bounds
+    from repro.graphs import shortest_path_diameter
+
+    g = heavy_tail_graph(12, seed=7)
+    delta = shortest_path_diameter(g)
+    w = g.max_weight
+    assert delta < (g.n - 1) * w / 4  # heavy tail: Delta << n*W
+    res = run_apsp(g)
+    assert res.metrics.rounds <= bounds.theorem11_apsp(g.n, delta)
+
+
+def test_methods_agree_on_larger_instance():
+    g = random_graph(24, p=0.2, w_max=7, zero_fraction=0.3, seed=11)
+    oracle = {x: dijkstra(g, x)[0] for x in range(g.n)}
+    a1 = run_apsp(g)
+    a3 = run_apsp_blocker(g)
+    for x in range(g.n):
+        assert a1.dist[x] == oracle[x]
+        assert a3.dist[x] == oracle[x]

@@ -1,0 +1,37 @@
+"""Property-based round-trip tests for serialisation and conversions."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.graphs import io as gio
+
+from conftest import graph_instances
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+
+
+@settings(max_examples=60, **COMMON)
+@given(graph_instances())
+def test_text_roundtrip(gi):
+    g, _ = gi
+    g2 = gio.loads(gio.dumps(g))
+    assert g2.n == g.n
+    assert g2.directed == g.directed
+    assert list(g2.edges()) == list(g.edges())
+
+
+@settings(max_examples=40, **COMMON)
+@given(graph_instances())
+def test_networkx_roundtrip(gi):
+    g, _ = gi
+    g2 = gio.from_networkx(gio.to_networkx(g))
+    assert list(g2.edges()) == list(g.edges())
+
+
+@settings(max_examples=40, **COMMON)
+@given(graph_instances())
+def test_double_roundtrip_fixpoint(gi):
+    g, _ = gi
+    once = gio.dumps(g)
+    twice = gio.dumps(gio.loads(once))
+    assert once == twice

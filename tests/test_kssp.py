@@ -1,0 +1,117 @@
+"""Tests for Algorithm 3 -- the blocker-set based k-SSP/APSP."""
+
+import random
+
+import pytest
+
+from repro.core import run_apsp_blocker, run_kssp_blocker
+from repro.graphs import (
+    WeightedDigraph,
+    dijkstra,
+    grid_graph,
+    random_graph,
+    zero_cluster_graph,
+)
+
+INF = float("inf")
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_kssp_matches_dijkstra(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(5, 12)
+        g = random_graph(n, p=0.35, w_max=6, zero_fraction=0.3, seed=seed)
+        h = rng.randint(1, n)
+        srcs = rng.sample(range(n), rng.randint(1, n))
+        res = run_kssp_blocker(g, srcs, h)
+        for x in res.sources:
+            assert res.dist[x] == dijkstra(g, x)[0], (seed, x, h)
+
+    @pytest.mark.parametrize("h", [1, 2, 4, 8])
+    def test_exact_for_any_h(self, h):
+        """Exactness must not depend on the choice of h (only rounds do)."""
+        g = random_graph(10, p=0.35, w_max=5, zero_fraction=0.4, seed=3)
+        res = run_apsp_blocker(g, h=h)
+        for x in range(g.n):
+            assert res.dist[x] == dijkstra(g, x)[0]
+
+    def test_default_h_from_theorem12(self):
+        g = random_graph(9, p=0.35, w_max=4, zero_fraction=0.2, seed=1)
+        res = run_apsp_blocker(g)
+        assert 1 <= res.h <= g.n
+        for x in range(g.n):
+            assert res.dist[x] == dijkstra(g, x)[0]
+
+    @pytest.mark.parametrize("family", ["zero_cluster", "grid"])
+    def test_families(self, family):
+        g = {"zero_cluster": lambda: zero_cluster_graph(3, 4, seed=2),
+             "grid": lambda: grid_graph(3, 3, w_max=4, zero_fraction=0.4,
+                                        seed=5)}[family]()
+        res = run_apsp_blocker(g, h=3)
+        for x in range(g.n):
+            assert res.dist[x] == dijkstra(g, x)[0]
+
+    def test_one_way_reachability(self):
+        g = WeightedDigraph.from_edges(3, [(0, 1, 2), (1, 2, 3)])
+        res = run_kssp_blocker(g, [0, 2], 2)
+        assert res.dist[0] == [0, 2, 5]
+        assert res.dist[2] == [INF, INF, 0]
+
+
+class TestAccounting:
+    def test_phase_rounds_sum_to_total(self):
+        g = random_graph(9, p=0.35, w_max=5, zero_fraction=0.3, seed=4)
+        res = run_kssp_blocker(g, [0, 2, 5], 3)
+        top_level = ["csssp", "blocker_set", "blocker_sssp", "bfs_tree",
+                     "broadcast"]
+        assert res.metrics.rounds == sum(res.phase_rounds[k] for k in top_level)
+
+    def test_keep_structures(self):
+        g = random_graph(8, p=0.35, w_max=4, zero_fraction=0.3, seed=6)
+        res = run_kssp_blocker(g, [0, 3], 2, keep_structures=True)
+        assert res.csssp is not None
+        assert res.blocker_result is not None
+        assert res.blockers == res.blocker_result.blockers
+
+    def test_empty_sources_rejected(self):
+        g = random_graph(5, p=0.4, w_max=3, seed=1)
+        with pytest.raises(ValueError):
+            run_kssp_blocker(g, [], 2)
+
+
+class TestHTradeoff:
+    def test_larger_h_fewer_blockers(self):
+        """Larger h -> deeper trees get covered by CSSSP directly and
+        blocker sets shrink (the Lemma III.2 trade-off's mechanism)."""
+        g = random_graph(12, p=0.3, w_max=4, zero_fraction=0.3, seed=8)
+        sizes = {}
+        for h in (1, g.n // 2, g.n):
+            res = run_apsp_blocker(g, h=h)
+            sizes[h] = len(res.blockers)
+        assert sizes[g.n] <= sizes[1]
+
+
+class TestConcurrentSSSP:
+    """Step 3 run on the FIFO multiplexer instead of sequentially."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_identical_output(self, seed):
+        rng = random.Random(100 + seed)
+        n = rng.randint(6, 14)
+        g = random_graph(n, p=0.35, w_max=6, zero_fraction=0.3, seed=seed)
+        h = rng.randint(1, max(2, n // 2))
+        srcs = rng.sample(range(n), rng.randint(2, n))
+        seq = run_kssp_blocker(g, srcs, h)
+        con = run_kssp_blocker(g, srcs, h, concurrent_sssp=True)
+        assert seq.dist == con.dist
+        assert seq.blockers == con.blockers
+
+    def test_concurrency_saves_rounds_with_many_blockers(self):
+        g = random_graph(20, p=0.3, w_max=6, zero_fraction=0.3, seed=3)
+        seq = run_kssp_blocker(g, range(20), 3)
+        if len(seq.blockers) < 3:
+            pytest.skip("instance produced too few blockers to matter")
+        con = run_kssp_blocker(g, range(20), 3, concurrent_sssp=True)
+        assert con.phase_rounds["blocker_sssp"] < \
+            seq.phase_rounds["blocker_sssp"]

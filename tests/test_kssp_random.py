@@ -1,0 +1,61 @@
+"""Tests for the randomized sampled-blocker k-SSP."""
+
+import random
+
+import pytest
+
+from repro.core import run_apsp_sampled, run_kssp_sampled
+from repro.graphs import dijkstra, random_graph, zero_cluster_graph
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_dijkstra(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(5, 13)
+        g = random_graph(n, p=0.35, w_max=6, zero_fraction=0.3, seed=seed)
+        h = rng.randint(1, n)
+        srcs = rng.sample(range(n), rng.randint(1, n))
+        res = run_kssp_sampled(g, srcs, h, seed=seed)
+        for x in res.sources:
+            assert res.dist[x] == dijkstra(g, x)[0], (seed, x, h)
+
+    def test_deterministic_given_seed(self):
+        g = random_graph(10, p=0.3, w_max=5, zero_fraction=0.3, seed=3)
+        a = run_apsp_sampled(g, h=3, seed=77)
+        b = run_apsp_sampled(g, h=3, seed=77)
+        assert a.blockers == b.blockers
+        assert a.metrics.rounds == b.metrics.rounds
+
+    def test_zero_cluster(self):
+        g = zero_cluster_graph(3, 4, seed=4)
+        res = run_apsp_sampled(g, h=3, seed=1)
+        for x in range(g.n):
+            assert res.dist[x] == dijkstra(g, x)[0]
+
+
+class TestSamplingBehaviour:
+    def test_probability_formula(self):
+        g = random_graph(12, p=0.3, w_max=4, zero_fraction=0.3, seed=5)
+        res = run_apsp_sampled(g, h=4, seed=2, c=2.0)
+        import math
+        assert res.sample_probability == pytest.approx(
+            min(1.0, 2.0 * math.log(12) / 4))
+
+    def test_high_h_small_sample(self):
+        """With h = n the trees are shallow relative to h: few depth-h
+        paths, so even a tiny (or empty) sample covers them."""
+        g = random_graph(12, p=0.35, w_max=4, zero_fraction=0.3, seed=6)
+        res = run_apsp_sampled(g, h=g.n, seed=3, c=0.5)
+        for x in range(g.n):
+            assert res.dist[x] == dijkstra(g, x)[0]
+
+    def test_resamples_recorded(self):
+        g = random_graph(10, p=0.3, w_max=5, zero_fraction=0.3, seed=7)
+        res = run_apsp_sampled(g, h=3, seed=4)
+        assert res.resamples >= 0
+
+    def test_empty_sources_rejected(self):
+        g = random_graph(5, p=0.4, w_max=3, seed=1)
+        with pytest.raises(ValueError):
+            run_kssp_sampled(g, [], 2)

@@ -1,0 +1,110 @@
+"""Tests for RunMetrics accounting and the analysis harness."""
+
+import pytest
+
+from repro.analysis import (
+    ExperimentReport,
+    Measurement,
+    format_value,
+    render_markdown,
+    render_report,
+    render_table,
+)
+from repro.congest import RunMetrics, merge_sequential
+
+
+class TestRunMetrics:
+    def test_record_and_congestion(self):
+        m = RunMetrics()
+        m.record_message(0, 1, 3)
+        m.record_message(0, 1, 2)
+        m.record_message(1, 0, 5)
+        assert m.messages == 3
+        assert m.words == 10
+        assert m.max_message_words == 5
+        assert m.max_channel_congestion == 2
+        assert m.max_edge_congestion == 3  # both directions summed
+
+    def test_merge_sequential(self):
+        a = RunMetrics()
+        a.rounds = 5
+        a.record_message(0, 1, 1)
+        b = RunMetrics()
+        b.rounds = 7
+        b.record_message(0, 1, 4)
+        c = merge_sequential(a, b)
+        assert c.rounds == 12
+        assert c.messages == 2
+        assert c.max_message_words == 4
+        assert c.channel_messages[(0, 1)] == 2
+
+    def test_merge_with_none(self):
+        a = RunMetrics()
+        a.rounds = 3
+        assert merge_sequential(None, a, None).rounds == 3
+
+    def test_empty_metrics(self):
+        m = RunMetrics()
+        assert m.max_channel_congestion == 0
+        assert m.max_edge_congestion == 0
+        assert m.max_node_sends == 0
+
+    def test_summary_keys(self):
+        m = RunMetrics()
+        s = m.summary()
+        assert "rounds" in s and "max_edge_congestion" in s
+
+
+class TestMeasurement:
+    def test_ratio_and_within(self):
+        m = Measurement("E", {}, measured=8, bound=10)
+        assert m.ratio == 0.8
+        assert m.within_bound is True
+        m2 = Measurement("E", {}, measured=12, bound=10)
+        assert m2.within_bound is False
+        m3 = Measurement("E", {}, measured=12)
+        assert m3.within_bound is None and m3.ratio is None
+
+
+class TestExperimentReport:
+    def test_add_and_assert(self):
+        rep = ExperimentReport("E0", "demo")
+        rep.add({"n": 4}, measured=3, bound=5)
+        rep.add({"n": 8}, measured=4, bound=5, note="hi")
+        assert rep.all_within_bound
+        assert rep.max_ratio == 0.8
+        rep.assert_within_bounds()
+
+    def test_assert_raises_with_details(self):
+        rep = ExperimentReport("E0", "demo")
+        rep.add({"n": 4}, measured=9, bound=5)
+        with pytest.raises(AssertionError, match="exceed"):
+            rep.assert_within_bounds()
+
+
+class TestRendering:
+    def test_format_value(self):
+        assert format_value(3) == "3"
+        assert format_value(3.0) == "3"
+        assert format_value(3.14159) == "3.14"
+        assert format_value(float("nan")) == "-"
+        assert format_value("x") == "x"
+
+    def test_render_table_alignment(self):
+        out = render_table(["a", "long_header"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len({len(l) for l in lines}) == 1  # aligned
+
+    def test_render_report_includes_all(self):
+        rep = ExperimentReport("E9", "nine")
+        rep.add({"n": 4}, measured=3, bound=5, extra_stat=7)
+        out = render_report(rep)
+        assert "E9" in out and "measured" in out and "extra_stat" in out
+        assert "yes" in out
+
+    def test_render_markdown(self):
+        rep = ExperimentReport("E9", "nine")
+        rep.add({"n": 4}, measured=3, bound=5)
+        md = render_markdown(rep)
+        assert md.startswith("| n |")
+        assert "| 3 | 5 |" in md

@@ -1,0 +1,104 @@
+"""Model-based tests: the optimized implementations against naive
+reference models, driven by hypothesis-generated operation sequences."""
+
+import math
+import random
+from typing import List, Optional, Tuple
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Entry, NodeList
+from repro.core.keys import send_round
+
+
+class NaiveList:
+    """Brute-force reference for NodeList: a plain list re-sorted after
+    every operation, with positions recomputed from scratch."""
+
+    def __init__(self) -> None:
+        self.items: List[Entry] = []
+
+    def insert(self, e: Entry, budget: Optional[int]) -> Optional[Entry]:
+        # stable placement above equal keys: sort by (key, arrival index)
+        self.items.append(e)
+        self.items.sort(key=lambda z: z.sort_key)
+        # among equal sort keys keep arrival order (python sort is stable,
+        # and the newcomer was appended last)
+        removed = None
+        same = [z for z in self.items if z.x == e.x]
+        if budget is None or len(same) > budget:
+            idx = self.items.index(e)
+            for j in range(idx + 1, len(self.items)):
+                z = self.items[j]
+                if z.x == e.x and not z.flag_sp:
+                    removed = z
+                    self.items.remove(z)
+                    break
+        return removed
+
+    def pos(self, e: Entry) -> int:
+        return self.items.index(e) + 1
+
+    def nu(self, e: Entry) -> int:
+        i = self.items.index(e)
+        return sum(1 for z in self.items[:i + 1] if z.x == e.x)
+
+    def count_below(self, x: int, key) -> int:
+        return sum(1 for z in self.items if z.x == x and z.sort_key <= key)
+
+    def fire_at(self, r: int) -> Optional[Entry]:
+        hits = [z for i, z in enumerate(self.items)
+                if send_round(z.kappa, i + 1) == r]
+        assert len(hits) <= 1
+        return hits[0] if hits else None
+
+
+@st.composite
+def op_sequences(draw):
+    n_ops = draw(st.integers(min_value=1, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+    budget = draw(st.sampled_from([None, 1, 2, 4]))
+    gamma = draw(st.sampled_from([1.0, math.sqrt(2), 3.5]))
+    return n_ops, seed, budget, gamma
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(op_sequences())
+def test_node_list_matches_naive_model(ops):
+    n_ops, seed, budget, gamma = ops
+    rng = random.Random(seed)
+    fast, slow = NodeList(), NaiveList()
+    for step in range(n_ops):
+        d = rng.randint(0, 8)
+        l = rng.randint(0, 8)
+        x = rng.randint(0, 3)
+        kappa = d * gamma + l
+        # entries must be distinct objects with identical data
+        ef = Entry(kappa, d, l, x)
+        es = Entry(kappa, d, l, x)
+        _pos, removed_f = fast.insert(ef, budget)
+        removed_s = slow.insert(es, budget)
+        assert (removed_f is None) == (removed_s is None)
+        if removed_f is not None:
+            assert removed_f.sort_key == removed_s.sort_key
+
+        # full structural agreement after every step
+        assert [e.sort_key for e in fast] == [z.sort_key for z in slow.items]
+        # spot-check queries
+        if len(fast):
+            probe = rng.choice(fast.entries())
+            naive_twin = slow.items[fast.pos(probe) - 1]
+            assert probe.sort_key == naive_twin.sort_key
+            assert fast.nu_of(probe) == slow.nu(naive_twin)
+            qx = rng.randint(0, 3)
+            qkey = (rng.randint(0, 8) * gamma + rng.randint(0, 8),
+                    rng.randint(0, 8), qx)
+            assert fast.count_for_source_below(qx, qkey) == \
+                slow.count_below(qx, qkey)
+        r = rng.randint(1, 30)
+        ff, sf = fast.fire_at(r), slow.fire_at(r)
+        assert (ff is None) == (sf is None)
+        if ff is not None:
+            assert ff.sort_key == sf.sort_key

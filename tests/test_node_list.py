@@ -1,0 +1,165 @@
+"""Unit tests for the list_v data structure of Algorithm 1."""
+
+import pytest
+
+from repro.core import Entry, NodeList
+from repro.core.keys import send_round
+
+
+def E(kappa, d, l, x, *, sp=False, parent=None):
+    return Entry(kappa, d, l, x, flag_sp=sp, parent=parent)
+
+
+class TestOrdering:
+    def test_sorted_by_kappa_d_x(self):
+        nl = NodeList()
+        e1 = E(5.0, 2, 1, 3)
+        e2 = E(3.0, 1, 1, 1)
+        e3 = E(5.0, 1, 3, 2)   # same kappa as e1, smaller d -> below
+        for e in (e1, e2, e3):
+            nl.insert(e)
+        assert nl.entries() == [e2, e3, e1]
+        assert nl.pos(e2) == 1 and nl.pos(e3) == 2 and nl.pos(e1) == 3
+
+    def test_equal_sort_key_newcomer_goes_above(self):
+        nl = NodeList()
+        a = E(4.0, 2, 2, 7)
+        b = E(4.0, 2, 2, 7)  # exact duplicate key
+        nl.insert(a)
+        nl.insert(b)
+        assert nl.entries() == [a, b]
+        assert nl.pos(b) == 2
+
+    def test_pos_of_missing_entry_raises(self):
+        nl = NodeList()
+        with pytest.raises(ValueError):
+            nl.pos(E(1.0, 1, 0, 0))
+
+
+class TestCounts:
+    def test_nu_counts_same_source_at_or_below(self):
+        nl = NodeList()
+        e1 = E(1.0, 1, 0, 5)
+        e2 = E(2.0, 2, 0, 9)
+        e3 = E(3.0, 3, 0, 5)
+        for e in (e1, e2, e3):
+            nl.insert(e)
+        assert nl.nu_of(e1) == 1
+        assert nl.nu_of(e3) == 2
+        assert nl.nu_of(e2) == 1
+
+    def test_count_for_source_below_includes_ties(self):
+        nl = NodeList()
+        nl.insert(E(2.0, 1, 1, 4))
+        nl.insert(E(4.0, 2, 2, 4))
+        assert nl.count_for_source_below(4, (2.0, 1, 4)) == 1  # tie counts
+        assert nl.count_for_source_below(4, (3.0, 1, 4)) == 1
+        assert nl.count_for_source_below(4, (9.0, 9, 9)) == 2
+        assert nl.count_for_source_below(5, (9.0, 9, 9)) == 0
+
+    def test_max_entries_any_source(self):
+        nl = NodeList()
+        for i in range(3):
+            nl.insert(E(float(i), i, 0, 1))
+        nl.insert(E(0.5, 0, 0, 2))
+        assert nl.max_entries_any_source() == 3
+
+
+class TestEviction:
+    def test_budget_none_always_evicts_closest_nonsp_above(self):
+        nl = NodeList()
+        sp = E(5.0, 3, 1, 1, sp=True)
+        non1 = E(6.0, 4, 1, 1)
+        non2 = E(8.0, 5, 1, 1)
+        for e in (sp, non1, non2):
+            nl.insert_sp(e) if e.flag_sp else nl.insert(e, budget=None)
+        # non1 evicted non-SP above when non2 was inserted? order: sp,
+        # non1 (evicts nothing above), non2 (evicts nothing above).
+        newcomer = E(5.5, 3, 2, 1)
+        pos, removed = nl.insert(newcomer, budget=None)
+        assert removed is non1  # closest non-SP above
+        assert pos == 2
+
+    def test_sp_flag_protects_from_eviction(self):
+        nl = NodeList()
+        sp = E(6.0, 3, 1, 1, sp=True)
+        nl.insert_sp(sp)
+        newcomer = E(5.0, 2, 3, 1)
+        _, removed = nl.insert(newcomer, budget=None)
+        assert removed is None  # only non-SP entries above are victims
+
+    def test_budget_respected_no_eviction_below_budget(self):
+        nl = NodeList()
+        nl.insert(E(1.0, 1, 0, 1), budget=3)
+        nl.insert(E(2.0, 2, 0, 1), budget=3)
+        _, removed = nl.insert(E(0.5, 0, 1, 1), budget=3)
+        assert removed is None
+        assert len(nl) == 3
+
+    def test_budget_exceeded_triggers_eviction(self):
+        nl = NodeList()
+        a = E(1.0, 1, 0, 1)
+        b = E(2.0, 2, 0, 1)
+        nl.insert(a, budget=2)
+        nl.insert(b, budget=2)
+        _, removed = nl.insert(E(0.5, 0, 1, 1), budget=2)
+        assert removed is a  # closest non-SP above the newcomer
+
+    def test_eviction_only_same_source(self):
+        nl = NodeList()
+        other = E(2.0, 2, 0, 9)
+        nl.insert(other, budget=None)
+        _, removed = nl.insert(E(1.0, 1, 0, 1), budget=None)
+        assert removed is None
+
+    def test_evict_over_budget_method(self):
+        nl = NodeList()
+        sp = E(1.0, 0, 1, 1, sp=True)
+        old = E(2.0, 1, 1, 1)
+        nl.insert_sp(sp)
+        nl.insert(old, budget=None)
+        assert nl.evict_over_budget(sp, budget=2) is None
+        assert nl.evict_over_budget(sp, budget=1) is old
+        assert len(nl) == 1
+
+    def test_remove_by_identity(self):
+        nl = NodeList()
+        a = E(1.0, 1, 0, 1)
+        b = E(1.0, 1, 0, 1)
+        nl.insert(a)
+        nl.insert(b)
+        nl.remove(a)
+        assert nl.entries() == [b]
+
+
+class TestSendSchedule:
+    def test_fire_at_returns_scheduled_entry(self):
+        nl = NodeList()
+        e1 = E(1.5, 1, 1, 1)   # pos 1 -> fires ceil(2.5) = 3
+        e2 = E(4.0, 2, 2, 2)   # pos 2 -> fires 6
+        nl.insert(e1)
+        nl.insert(e2)
+        assert nl.fire_at(3) is e1
+        assert nl.fire_at(6) is e2
+        assert nl.fire_at(4) is None
+
+    def test_at_most_one_fire_per_round(self):
+        """Sortedness + distinct positions make the schedule collision
+        free (DESIGN.md sec. 6); build a dense list and check every round."""
+        nl = NodeList()
+        import random
+        rng = random.Random(7)
+        gamma = 1.4142135623730951
+        for i in range(40):
+            d = rng.randint(0, 10)
+            l = rng.randint(0, 10)
+            nl.insert(E(d * gamma + l, d, l, rng.randint(0, 5)))
+        for r in range(1, 80):
+            nl.fire_at(r)  # raises AssertionError on collision
+
+    def test_next_fire_after(self):
+        nl = NodeList()
+        e1 = E(1.5, 1, 1, 1)
+        nl.insert(e1)
+        assert nl.next_fire_after(0) == send_round(1.5, 1)
+        assert nl.next_fire_after(send_round(1.5, 1)) is None

@@ -1,0 +1,67 @@
+"""Tests for the Gabow-scaling APSP extension (the paper's Section V
+open-problem construction)."""
+
+import random
+
+import pytest
+
+from repro.core import run_scaling_apsp
+from repro.graphs import WeightedDigraph, dijkstra, random_graph, zero_cluster_graph
+
+INF = float("inf")
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_dijkstra(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(4, 12)
+        g = random_graph(n, p=0.3, w_max=rng.choice([1, 7, 63]),
+                         zero_fraction=0.3, seed=seed)
+        res = run_scaling_apsp(g)
+        for x in range(n):
+            assert res.dist[x] == dijkstra(g, x)[0], (seed, x)
+
+    def test_zero_weights_handled(self):
+        """Reduced weights are frequently zero even for positive inputs;
+        all-zero inputs are the extreme case."""
+        g = random_graph(8, p=0.4, w_max=0, seed=1)
+        res = run_scaling_apsp(g)
+        for x in range(g.n):
+            assert res.dist[x] == dijkstra(g, x)[0]
+
+    def test_zero_cluster(self):
+        g = zero_cluster_graph(3, 3, seed=2)
+        res = run_scaling_apsp(g)
+        for x in range(g.n):
+            assert res.dist[x] == dijkstra(g, x)[0]
+
+    def test_one_way_reachability(self):
+        g = WeightedDigraph.from_edges(3, [(0, 1, 6), (1, 2, 3)])
+        res = run_scaling_apsp(g)
+        assert res.dist[0] == [0, 6, 9]
+        assert res.dist[2] == [INF, INF, 0]
+
+
+class TestPhaseStructure:
+    def test_bits_match_weight_range(self):
+        g = random_graph(8, p=0.35, w_max=60, zero_fraction=0.2, seed=3)
+        res = run_scaling_apsp(g)
+        assert res.bits == 6  # 60 < 2^6
+        # one reachability phase plus one refinement per bit
+        assert len(res.phase_rounds) == res.bits + 1
+
+    def test_total_rounds_sum_phases(self):
+        g = random_graph(8, p=0.35, w_max=12, zero_fraction=0.2, seed=4)
+        res = run_scaling_apsp(g)
+        assert res.metrics.rounds == sum(res.phase_rounds)
+
+    def test_small_delta_phases(self):
+        """Each refinement solves an SSSP with distances <= n-1 -- phase
+        round counts must stay well below a full-Delta run's."""
+        g = random_graph(12, p=0.3, w_max=200, zero_fraction=0.2, seed=5)
+        res = run_scaling_apsp(g)
+        for r in res.phase_rounds[1:]:
+            # solo dilation (n-1)sqrt(n-1)+n is ~ 50; the composed FIFO
+            # stays within a small multiple
+            assert r <= 12 * (g.n ** 1.5)

@@ -1,0 +1,157 @@
+"""Tests for the concurrent composition scheduler (Section II-C's
+Ghaffari-framework stand-in) and its use by the k-source short-range."""
+
+import math
+import random
+
+import pytest
+
+from repro.congest import MultiplexedNetwork, compose_time_sliced
+from repro.core import run_k_source_short_range_concurrent, run_short_range
+from repro.core.short_range import ShortRangeProgram
+from repro.graphs import WeightedDigraph, random_graph
+
+INF = float("inf")
+
+
+def short_range_factory(source, h, *, delay_tolerant=True):
+    g2 = math.sqrt(h)
+    return lambda v: ShortRangeProgram(v, source, h, g2,
+                                       delay_tolerant=delay_tolerant)
+
+
+class TestTimeSliced:
+    def test_outputs_identical_to_solo(self):
+        g = random_graph(10, p=0.3, w_max=5, zero_fraction=0.4, seed=1)
+        srcs = [0, 3, 7]
+        outs, metrics, physical = compose_time_sliced(
+            g, [short_range_factory(s, 4) for s in srcs],
+            max_rounds_each=500)
+        for i, s in enumerate(srcs):
+            solo = run_short_range(g, s, 4, cutoff=False)
+            assert [o[0] for o in outs[i]] == solo.dist
+
+    def test_physical_rounds_k_times_dilation(self):
+        g = random_graph(8, p=0.3, w_max=4, zero_fraction=0.3, seed=2)
+        srcs = [0, 2, 4, 6]
+        _, _, physical = compose_time_sliced(
+            g, [short_range_factory(s, 3) for s in srcs],
+            max_rounds_each=500)
+        max_solo = max(run_short_range(g, s, 3, cutoff=False).metrics.rounds
+                       for s in srcs)
+        assert physical <= len(srcs) * max_solo + len(srcs)
+
+
+class TestFIFOMultiplexer:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_outputs_match_solo(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(6, 14)
+        g = random_graph(n, p=0.3, w_max=5, zero_fraction=0.4, seed=seed)
+        h = rng.randint(2, n)
+        srcs = rng.sample(range(n), rng.randint(2, max(2, n // 2)))
+        dist, metrics, summary = run_k_source_short_range_concurrent(
+            g, srcs, h, mode="fifo")
+        for s in srcs:
+            assert dist[s] == run_short_range(g, s, h).dist, (seed, s)
+
+    def test_fifo_beats_timesliced(self):
+        """The whole point of composing: concurrent execution beats the
+        k-times-dilation baseline on a moderately loaded instance."""
+        g = random_graph(16, p=0.25, w_max=4, zero_fraction=0.4, seed=3)
+        srcs = list(range(0, 16, 2))
+        _, _, summary = run_k_source_short_range_concurrent(g, srcs, 6,
+                                                            mode="fifo")
+        assert summary["physical_rounds"] < summary["timesliced_cost"]
+
+    def test_fifo_within_composition_envelope(self):
+        for seed in range(5):
+            g = random_graph(12, p=0.3, w_max=4, zero_fraction=0.3, seed=seed)
+            srcs = list(range(0, 12, 3))
+            _, _, summary = run_k_source_short_range_concurrent(
+                g, srcs, 5, mode="fifo")
+            assert summary["physical_rounds"] <= \
+                2 * summary["composition_envelope"] + 8
+
+    def test_channel_capacity_respected(self):
+        g = random_graph(10, p=0.3, w_max=4, zero_fraction=0.3, seed=4)
+        srcs = [0, 1, 2, 3]
+        net = MultiplexedNetwork(
+            g, [short_range_factory(s, 4) for s in srcs])
+        m = net.run(max_rounds=2000)
+        # capacity 1: per-channel messages <= physical rounds
+        assert m.max_channel_congestion <= m.rounds
+
+    def test_unknown_mode_rejected(self):
+        g = random_graph(5, p=0.4, w_max=3, seed=1)
+        with pytest.raises(ValueError, match="mode"):
+            run_k_source_short_range_concurrent(g, [0], 2, mode="quantum")
+
+    def test_instance_graphs_must_match_count(self):
+        g = random_graph(5, p=0.4, w_max=3, seed=1)
+        with pytest.raises(ValueError, match="instance graph"):
+            MultiplexedNetwork(g, [short_range_factory(0, 2)],
+                               instance_graphs=[g, g])
+
+    def test_per_instance_weight_views(self):
+        """Two instances see different weights on the same physical
+        links (the Gabow-scaling setting)."""
+        base = WeightedDigraph.from_edges(3, [(0, 1, 5), (1, 2, 5)])
+        view_a = WeightedDigraph.from_edges(3, [(0, 1, 1), (1, 2, 1)])
+        view_b = WeightedDigraph.from_edges(3, [(0, 1, 3), (1, 2, 0)])
+        net = MultiplexedNetwork(
+            base,
+            [short_range_factory(0, 2), short_range_factory(0, 2)],
+            instance_graphs=[view_a, view_b])
+        net.run(max_rounds=200)
+        a = [o[0] for o in net.outputs(0)]
+        b = [o[0] for o in net.outputs(1)]
+        assert a == [0, 1, 2]
+        assert b == [0, 3, 3]
+
+
+class TestMultiplexerEdgeCases:
+    def test_fast_forward_idle_gaps(self):
+        """Instances scheduled far in the future: the multiplexer must
+        jump over the idle gap rather than spin round by round."""
+        from repro.congest import MultiplexedNetwork, Program
+
+        class LateTicker(Program):
+            def __init__(self):
+                self.fired_at = None
+                self._due = 500
+
+            def on_send(self, ctx, r):
+                if self._due is not None and r >= self._due:
+                    self._due = None
+                    self.fired_at = r
+                    ctx.broadcast("late")
+
+            def next_active_round(self, ctx, r):
+                return self._due
+
+            def output(self, ctx):
+                return self.fired_at
+
+        from repro.graphs import path_graph
+        g = path_graph(3)
+        net = MultiplexedNetwork(g, [lambda v: LateTicker()])
+        m = net.run(max_rounds=600)
+        assert net.outputs(0)[0] == 500
+        assert m.rounds == 500
+
+    def test_oversized_message_rejected(self):
+        from repro.congest import MultiplexedNetwork, Program
+        from repro.graphs import path_graph
+
+        class Bloater(Program):
+            def on_send(self, ctx, r):
+                if ctx.node == 0 and r == 1:
+                    ctx.send(1, tuple(range(100)))
+
+            def next_active_round(self, ctx, r):
+                return 1 if r < 1 else None
+
+        net = MultiplexedNetwork(path_graph(2), [lambda v: Bloater()])
+        with pytest.raises(ValueError, match="oversized"):
+            net.run(max_rounds=10)

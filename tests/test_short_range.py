@@ -1,0 +1,174 @@
+"""Tests for Algorithm 2 -- short-range and short-range-extension."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    k_source_short_range_schedule,
+    run_short_range,
+    run_short_range_extension,
+)
+from repro.graphs import (
+    WeightedDigraph,
+    dijkstra,
+    dijkstra_min_hops,
+    random_graph,
+    zero_cluster_graph,
+)
+from repro.graphs.validation import assert_weak_h_hop_contract
+
+INF = float("inf")
+
+
+class TestShortRangeContract:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_weak_contract(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(4, 16)
+        g = random_graph(n, p=0.3, w_max=rng.choice([0, 1, 6, 40]),
+                         zero_fraction=0.3, seed=seed)
+        h = rng.randint(1, n)
+        s = rng.randrange(n)
+        res = run_short_range(g, s, h)
+        assert_weak_h_hop_contract(g, {s: res.dist}, {s: res.hops}, h,
+                                   context="short-range")
+
+    def test_full_range_is_exact_sssp(self):
+        g = random_graph(12, p=0.3, w_max=6, zero_fraction=0.4, seed=7)
+        res = run_short_range(g, 0, g.n - 1)
+        assert res.dist == dijkstra(g, 0)[0]
+
+    def test_parent_pointers(self):
+        g = random_graph(10, p=0.35, w_max=5, zero_fraction=0.3, seed=4)
+        res = run_short_range(g, 0, g.n - 1)
+        for v in range(g.n):
+            if v == 0 or res.dist[v] == INF:
+                continue
+            p = res.parent[v]
+            assert g.weight(p, v) is not None
+            assert res.dist[p] + g.weight(p, v) == res.dist[v]
+
+
+class TestLemmaII15Bounds:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_dilation(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(5, 18)
+        g = random_graph(n, p=0.25, w_max=4, zero_fraction=0.4, seed=seed)
+        h = rng.randint(1, n)
+        res = run_short_range(g, seed % n, h)
+        assert res.metrics.rounds <= res.dilation_bound
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_congestion_sqrt_h(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(5, 18)
+        g = random_graph(n, p=0.25, w_max=4, zero_fraction=0.4, seed=seed)
+        h = rng.randint(1, n)
+        res = run_short_range(g, seed % n, h)
+        assert res.max_node_sends <= math.sqrt(h) + 1
+
+    def test_each_node_one_message_per_round(self):
+        g = random_graph(10, p=0.3, w_max=4, zero_fraction=0.4, seed=2)
+        res = run_short_range(g, 0, 5)
+        assert res.metrics.max_channel_congestion <= res.max_node_sends
+
+
+class TestExtension:
+    def test_extension_stitches_ranges(self):
+        """Exact distances within h hops of a known frontier: running
+        short-range for h, feeding the results in as 'known', and
+        extending must reproduce Dijkstra wherever a shortest path
+        decomposes as (known prefix) + (<= h more hops)."""
+        g = zero_cluster_graph(4, 4, seed=3)
+        h = 4
+        d_true, l_true, _ = dijkstra_min_hops(g, 0)
+        known = {v: int(d_true[v]) for v in range(g.n)
+                 if l_true[v] <= h and d_true[v] != INF}
+        res = run_short_range_extension(g, 0, h, known)
+        for v in range(g.n):
+            # does a min-hop shortest path to v decompose through a known
+            # node with at most h residual hops?
+            if l_true[v] != INF and l_true[v] <= 2 * h:
+                assert res.dist[v] == d_true[v], v
+
+    def test_extension_with_empty_known_equals_short_range(self):
+        g = random_graph(8, p=0.35, w_max=4, zero_fraction=0.3, seed=5)
+        a = run_short_range(g, 0, 3)
+        b = run_short_range_extension(g, 0, 3, {})
+        assert a.dist == b.dist
+
+    def test_known_node_keeps_distance(self):
+        g = WeightedDigraph.from_edges(3, [(0, 1, 2), (1, 2, 3)])
+        res = run_short_range_extension(g, 0, 1, {1: 2})
+        assert res.dist[1] == 2
+        assert res.dist[2] == 5
+
+
+class TestKSourceSchedule:
+    def test_per_instance_properties(self):
+        g = random_graph(10, p=0.3, w_max=4, zero_fraction=0.3, seed=1)
+        results, summary = k_source_short_range_schedule(g, [0, 3, 6], 4)
+        assert set(results) == {0, 3, 6}
+        for s, res in results.items():
+            assert res.metrics.rounds <= res.dilation_bound
+            assert res.max_node_sends <= res.congestion_bound
+        assert summary["composed_round_estimate"] >= summary["max_dilation"]
+
+
+class TestValidation:
+    def test_bad_inputs(self):
+        g = random_graph(5, p=0.4, w_max=3, seed=1)
+        with pytest.raises(ValueError):
+            run_short_range(g, 0, 0)
+        with pytest.raises(ValueError):
+            run_short_range(g, 9, 2)
+
+    def test_all_zero_graph(self):
+        g = random_graph(8, p=0.4, w_max=0, seed=2)
+        res = run_short_range(g, 0, g.n - 1)
+        assert res.dist == dijkstra(g, 0)[0]
+
+
+class TestKSourceJoint:
+    """The paper's k-source variant with gamma = sqrt(hk/Delta)
+    (end of Section II-C), run as one joint program per node."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_weak_contract(self, seed):
+        from repro.core import run_k_source_short_range_joint
+        rng = random.Random(seed)
+        n = rng.randint(5, 14)
+        g = random_graph(n, p=0.3, w_max=5, zero_fraction=0.4, seed=seed)
+        h = rng.randint(1, n)
+        srcs = rng.sample(range(n), rng.randint(2, n))
+        res = run_k_source_short_range_joint(g, srcs, h)
+        assert_weak_h_hop_contract(g, res.dist, res.hops, h,
+                                   context="k-source joint")
+
+    def test_congestion_bound(self):
+        from repro.core import run_k_source_short_range_joint
+        for seed in range(6):
+            g = random_graph(12, p=0.3, w_max=4, zero_fraction=0.4, seed=seed)
+            srcs = list(range(0, 12, 2))
+            res = run_k_source_short_range_joint(g, srcs, 5)
+            assert res.max_node_sends <= res.congestion_bound
+            assert res.metrics.rounds <= res.dilation_bound
+
+    def test_one_message_per_node_per_round(self):
+        """Deferrals keep the node at one outgoing broadcast per round;
+        the Network would raise CongestionError otherwise."""
+        from repro.core import run_k_source_short_range_joint
+        g = random_graph(10, p=0.4, w_max=3, zero_fraction=0.5, seed=3)
+        res = run_k_source_short_range_joint(g, list(range(10)), 4)
+        assert res.metrics.max_node_sends <= res.metrics.rounds
+
+    def test_validation(self):
+        from repro.core import run_k_source_short_range_joint
+        g = random_graph(5, p=0.4, w_max=3, seed=1)
+        with pytest.raises(ValueError):
+            run_k_source_short_range_joint(g, [], 2)
+        with pytest.raises(ValueError):
+            run_k_source_short_range_joint(g, [0], 0)

@@ -1,0 +1,121 @@
+"""Tests that the validation helpers themselves catch what they claim to."""
+
+import pytest
+
+from repro.graphs import (
+    ValidationError,
+    WeightedDigraph,
+    assert_apsp_correct,
+    assert_distances_equal,
+    assert_h_hop_correct,
+    assert_hop_monotone,
+    assert_tree_parents,
+    assert_triangle_inequality,
+    dijkstra,
+    random_graph,
+)
+from repro.graphs.validation import assert_weak_h_hop_contract
+
+INF = float("inf")
+
+
+@pytest.fixture
+def g():
+    return random_graph(8, p=0.4, w_max=5, zero_fraction=0.3, seed=1)
+
+
+class TestDistancesEqual:
+    def test_passes_on_equal(self, g):
+        d = {0: dijkstra(g, 0)[0]}
+        assert_distances_equal(d, d)
+
+    def test_detects_value_mismatch(self, g):
+        d = dijkstra(g, 0)[0]
+        bad = list(d)
+        bad[3] = bad[3] + 1 if bad[3] != INF else 0
+        with pytest.raises(ValidationError, match="dist"):
+            assert_distances_equal({0: bad}, {0: d})
+
+    def test_detects_source_set_mismatch(self, g):
+        d = dijkstra(g, 0)[0]
+        with pytest.raises(ValidationError, match="source sets"):
+            assert_distances_equal({0: d}, {0: d, 1: d})
+
+    def test_detects_length_mismatch(self, g):
+        d = dijkstra(g, 0)[0]
+        with pytest.raises(ValidationError, match="length"):
+            assert_distances_equal({0: d[:-1]}, {0: d})
+
+
+class TestOracleChecks:
+    def test_apsp_correct_passes(self, g):
+        assert_apsp_correct(g, {s: dijkstra(g, s)[0] for s in range(3)})
+
+    def test_h_hop_correct_passes(self, g):
+        from repro.graphs import hop_limited_sssp
+        assert_h_hop_correct(g, {0: hop_limited_sssp(g, 0, 3)[0]}, 3)
+
+    def test_triangle_inequality_detects_violation(self, g):
+        dist = [dijkstra(g, s)[0] for s in range(g.n)]
+        assert_triangle_inequality(g, dist)  # sanity: true distances pass
+        bad = [list(r) for r in dist]
+        u, v, w = next(iter(g.edges()))
+        bad[0][v] = bad[0][u] + w + 1
+        with pytest.raises(ValidationError, match="triangle"):
+            assert_triangle_inequality(g, bad)
+
+    def test_hop_monotone_passes(self, g):
+        assert_hop_monotone(g, 0, g.n)
+
+
+class TestTreeParents:
+    def test_valid_tree_passes(self, g):
+        dist, parent = dijkstra(g, 0)
+        assert_tree_parents(g, 0, parent, dist)
+
+    def test_detects_non_edge_parent(self, g):
+        dist, parent = dijkstra(g, 0)
+        bad = list(parent)
+        for v in range(g.n):
+            if v != 0 and bad[v] is not None:
+                # point at some non-in-neighbour
+                for cand in range(g.n):
+                    if cand != v and g.weight(cand, v) is None:
+                        bad[v] = cand
+                        break
+                else:
+                    continue
+                with pytest.raises(ValidationError):
+                    assert_tree_parents(g, 0, bad, dist)
+                return
+        pytest.skip("graph too dense to fabricate a non-edge")
+
+    def test_detects_hop_bound_violation(self):
+        g = WeightedDigraph.from_edges(3, [(0, 1, 1), (1, 2, 1)])
+        dist, parent = dijkstra(g, 0)
+        with pytest.raises(ValidationError, match="hops"):
+            assert_tree_parents(g, 0, parent, dist, hop_bound=1)
+
+
+class TestWeakContract:
+    def test_catches_wrong_guaranteed_pair(self, g):
+        from repro.graphs.reference import weak_h_hop_sssp
+        d, l = weak_h_hop_sssp(g, 0, g.n)
+        bad = list(d)
+        v = next(v for v in range(g.n) if v != 0 and d[v] not in (INF,))
+        bad[v] += 1
+        with pytest.raises(ValidationError, match="guaranteed"):
+            assert_weak_h_hop_contract(g, {0: bad}, {0: l}, g.n)
+
+    def test_catches_impossible_optional_value(self):
+        g = WeightedDigraph.from_edges(3, [(0, 1, 0), (1, 2, 0), (0, 2, 9)])
+        # minhop(0->2) = 2 > h=1; claiming d=1 with 1 hop is not a real path
+        with pytest.raises(ValidationError, match="not a real path"):
+            assert_weak_h_hop_contract(
+                g, {0: [0, 0, 1]}, {0: [0, 1, 1]}, 1)
+
+    def test_catches_hop_overflow(self):
+        g = WeightedDigraph.from_edges(3, [(0, 1, 0), (1, 2, 0), (0, 2, 9)])
+        with pytest.raises(ValidationError, match="exceeds"):
+            assert_weak_h_hop_contract(
+                g, {0: [0, 0, 0]}, {0: [0, 1, 2]}, 1)
