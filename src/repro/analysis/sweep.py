@@ -158,3 +158,67 @@ def sweep_table1_exact(*, seeds: Sequence[int] = (0, 1),
             rep.add({"seed": seed, "n": g.n, "algorithm": "blocker (Alg 3)"},
                     measured=a3.metrics.rounds)
     return rep
+
+
+def sweep_fault_tolerance(*, drop_rates: Sequence[float] = (0.0, 0.01, 0.05, 0.1),
+                          seeds: Sequence[int] = (0, 1),
+                          sizes: Sequence[int] = (10, 14),
+                          report: Optional[ExperimentReport] = None
+                          ) -> ExperimentReport:
+    """E18: rounds/messages overhead of the ack/retransmit wrapper under
+    seeded message drops, with correctness checked against the
+    sequential oracle at every point.
+
+    Each row runs the *wrapped* Bellman-Ford or short-range algorithm at
+    one drop rate; ``measured`` is the round count, ``bound`` is left
+    open (there is no closed-form claim -- the interesting quantities are
+    the ``overhead_*`` columns relative to the fault-free wrapped run at
+    drop rate 0, plus the ``correct`` flag, which must hold at every
+    drop rate for the resilience claim to stand).
+    """
+    from ..core.bellman_ford import run_bellman_ford
+    from ..faults import FaultPlan
+    from ..graphs.reference import dijkstra
+
+    rep = report or ExperimentReport(
+        "E18", "Resilience: wrapped algorithms converge to exact distances "
+               "under seeded drops; overhead vs drop-free wrapped run")
+    for seed in seeds:
+        for n in sizes:
+            g = random_graph(n, p=0.35, w_max=8, seed=seed)
+            true, _ = dijkstra(g, 0)
+            h = max(2, n // 2)
+            base: dict = {}
+            for rate in drop_rates:
+                plan = FaultPlan(seed=seed + 1, drop_rate=rate)
+                for algo, run in (
+                        ("bellman-ford", lambda: run_bellman_ford(
+                            g, 0, fault_plan=plan, resilient=True)),
+                        ("short-range", lambda: run_short_range(
+                            g, 0, h, fault_plan=plan, resilient=True))):
+                    res = run()
+                    m = res.metrics
+                    if algo == "bellman-ford":
+                        correct = res.dist == list(true)
+                    else:
+                        # short-range only promises h-hop-reachable nodes
+                        correct = all(
+                            res.dist[v] == true[v]
+                            for v in range(n) if res.hops[v] <= h)
+                    key = (seed, n, algo)
+                    if rate == 0.0:
+                        base[key] = m
+                    b = base.get(key)
+                    rep.add({"seed": seed, "n": n, "algorithm": algo,
+                             "drop_rate": rate},
+                            measured=m.rounds,
+                            correct=correct,
+                            messages=m.messages,
+                            retransmissions=m.retransmissions,
+                            ack_messages=m.ack_messages,
+                            drops=m.faults.get("drops", 0),
+                            overhead_rounds=(round(m.rounds / b.rounds, 2)
+                                             if b and b.rounds else None),
+                            overhead_messages=(round(m.messages / b.messages, 2)
+                                               if b and b.messages else None))
+    return rep

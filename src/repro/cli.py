@@ -10,9 +10,12 @@ Commands operate on graph files in the plain-text format of
 * ``hkssp`` -- the (h, k)-SSP problem (the paper's weak contract);
 * ``approx``-- (1+eps)-approximate APSP;
 * ``bounds``-- evaluate the paper's bound formulas for given parameters;
-* ``bench`` -- run one of the experiment sweeps (E1-E17) and print its
+* ``bench`` -- run one of the experiment sweeps (E1-E18) and print its
   measured-vs-bound table;
-* ``explain``-- replay how one node learned its distance from one source.
+* ``explain``-- replay how one node learned its distance from one source;
+* ``faults``-- run an algorithm under seeded fault injection (drops,
+  duplicates, delays, corruption, crashes), optionally with the
+  ack/retransmit resilience wrapper, and report what happened.
 """
 
 from __future__ import annotations
@@ -177,6 +180,7 @@ def cmd_bench(args, out) -> int:
         "E15": lambda: [exp_mod.sweep_extension_scaling()],
         "E16": lambda: [exp_mod.sweep_random_vs_deterministic()],
         "E17": lambda: list(exp_mod.sweep_ksource_short_range()),
+        "E18": lambda: [sweep_mod.sweep_fault_tolerance()],
     }
     key = args.experiment.upper()
     if key == "ALL":
@@ -205,6 +209,76 @@ def cmd_explain(args, out) -> int:
                          args.hops if args.hops else g.n - 1)
     out.write(story.render() + "\n")
     return 0
+
+
+def cmd_faults(args, out) -> int:
+    from .core.bellman_ford import run_bellman_ford
+    from .core.short_range import run_short_range
+    from .faults import CrashWindow, FaultPlan
+    from .graphs.reference import dijkstra
+
+    g = gio.load(args.graph)
+    if not (0 <= args.source < g.n):
+        raise ValueError(f"source {args.source} out of range for n={g.n}")
+    plan = FaultPlan(
+        seed=args.fault_seed,
+        drop_rate=args.drop_rate,
+        duplicate_rate=args.duplicate_rate,
+        delay_rate=args.delay_rate,
+        max_delay=args.max_delay,
+        corrupt_rate=args.corrupt_rate,
+        crashes=tuple(CrashWindow.parse(s) for s in args.crash or ()),
+    )
+    resilient = not args.no_wrapper
+    wrapper = (f"resilient (ack/retransmit, timeout={args.timeout})"
+               if resilient else "none (raw)")
+    out.write(f"fault plan: {plan.describe()}\n")
+    out.write(f"wrapper   : {wrapper}\n")
+    from .congest import RoundLimitExceeded
+    from .faults import InvariantViolation
+
+    try:
+        if args.algorithm == "bellman-ford":
+            res = run_bellman_ford(g, args.source, fault_plan=plan,
+                                   resilient=resilient, timeout=args.timeout)
+            contract = [True] * g.n
+        else:
+            h = args.hops if args.hops else max(1, g.n - 1)
+            res = run_short_range(g, args.source, h, fault_plan=plan,
+                                  resilient=resilient, timeout=args.timeout)
+            contract = [res.hops[v] <= h for v in range(g.n)]
+    except (RoundLimitExceeded, InvariantViolation) as exc:
+        # A permanent crash never quiesces (retransmission to a dead
+        # node cannot stop); an invariant violation is the monitor
+        # firing.  Either way the post-mortem is the answer.
+        out.write(f"RESULT: FAILED ({type(exc).__name__})\n")
+        out.write(str(exc) + "\n")
+        return 1
+
+    m = res.metrics
+    _metrics_report(m, out)
+    if m.retransmissions or m.ack_messages:
+        out.write(f"retransmissions: {m.retransmissions}, "
+                  f"ack-only messages: {m.ack_messages}\n")
+    injected = {k: c for k, c in sorted(m.faults.items()) if c}
+    out.write(f"injected faults: {injected or 'none'}\n")
+
+    true, _ = dijkstra(g, args.source)
+    wrong = [v for v in range(g.n)
+             if contract[v] and res.dist[v] != true[v]]
+    if wrong:
+        out.write(f"RESULT: INCORRECT at {len(wrong)} node(s): "
+                  f"{wrong[:10]}\n")
+        for v in wrong[:5]:
+            out.write(f"  node {v}: got {_fmt(res.dist[v])}, "
+                      f"true {_fmt(true[v])}\n")
+    else:
+        out.write("RESULT: correct (matches Dijkstra on all covered "
+                  "nodes)\n")
+    if not args.quiet:
+        out.write(f"{args.source}: "
+                  + " ".join(_fmt(d) for d in res.dist) + "\n")
+    return 1 if wrong else 0
 
 
 def cmd_bounds(args, out) -> int:
@@ -292,6 +366,33 @@ def build_parser() -> argparse.ArgumentParser:
     ex.add_argument("--node", type=int, required=True)
     ex.add_argument("--hops", type=int)
     ex.set_defaults(func=cmd_explain)
+
+    f = sub.add_parser(
+        "faults",
+        help="run an algorithm under seeded fault injection")
+    f.add_argument("graph")
+    f.add_argument("--algorithm", default="bellman-ford",
+                   choices=["bellman-ford", "short-range"])
+    f.add_argument("--source", type=int, default=0)
+    f.add_argument("--hops", type=int,
+                   help="hop range for short-range (default n-1)")
+    f.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for the deterministic fault coin flips")
+    f.add_argument("--drop-rate", type=float, default=0.0)
+    f.add_argument("--duplicate-rate", type=float, default=0.0)
+    f.add_argument("--delay-rate", type=float, default=0.0)
+    f.add_argument("--max-delay", type=int, default=3)
+    f.add_argument("--corrupt-rate", type=float, default=0.0)
+    f.add_argument("--crash", action="append", metavar="V@R[:R2]",
+                   help="crash node V at round R (restarting at R2); "
+                        "repeatable")
+    f.add_argument("--no-wrapper", action="store_true",
+                   help="run the raw algorithm without the ack/"
+                        "retransmit resilience wrapper")
+    f.add_argument("--timeout", type=int, default=4,
+                   help="retransmission timeout in rounds")
+    f.add_argument("-q", "--quiet", action="store_true")
+    f.set_defaults(func=cmd_faults)
 
     b = sub.add_parser("bounds", help="evaluate the paper's bound formulas")
     b.add_argument("-n", type=int, required=True)

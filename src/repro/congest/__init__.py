@@ -8,7 +8,13 @@ Public surface:
 * :func:`build_bfs_tree`, :func:`pipelined_broadcast`, :func:`convergecast`,
   :func:`convergecast_sum`, :func:`convergecast_max`, :func:`broadcast_single`
   -- folklore primitives used by Algorithm 3.
-* :class:`TraceRecorder` -- optional event tracing for invariant checks.
+* :class:`TraceRecorder` / :class:`RingTraceRecorder` -- optional event
+  tracing for invariant checks and bounded post-mortem flight recording.
+
+Fault injection, resilience wrappers, and invariant monitoring live in
+the sibling package :mod:`repro.faults` and plug in through the
+``fault_plan`` / ``monitor`` / ``record_window`` keywords of
+:class:`Network`.
 """
 
 from .message import (
@@ -30,7 +36,7 @@ from .primitives import (
     pipelined_broadcast,
 )
 from .scheduler import MultiplexedNetwork, compose_time_sliced, run_multiplexed
-from .events import TraceEvent, TraceRecorder
+from .events import RingTraceRecorder, TraceEvent, TraceRecorder
 
 __all__ = [
     "BFSTree",
@@ -41,6 +47,7 @@ __all__ = [
     "Network",
     "NodeContext",
     "Program",
+    "RingTraceRecorder",
     "RoundLimitExceeded",
     "RunMetrics",
     "TraceEvent",

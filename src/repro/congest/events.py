@@ -49,3 +49,38 @@ class TraceRecorder:
 
     def rounds_of(self, kind: str) -> List[int]:
         return [e.round for e in self.events if e.kind == kind]
+
+
+class RingTraceRecorder(TraceRecorder):
+    """A :class:`TraceRecorder` that retains only the last ``window``
+    *rounds* of events.
+
+    Used by ``Network(record_window=k)`` to keep a bounded flight
+    recorder for post-mortems: memory stays proportional to the recent
+    traffic instead of the whole execution.  Eviction is by round, not
+    by event count, so a post-mortem always sees complete rounds.
+    """
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1 round, got {window}")
+        super().__init__()
+        self.window = window
+        self._round_starts: List[Tuple[int, int]] = []  # (round, first index)
+
+    def emit(self, round_: int, node: int, kind: str, *data: Any) -> None:
+        if not self._round_starts or self._round_starts[-1][0] != round_:
+            self._round_starts.append((round_, len(self.events)))
+            # Evict rounds older than the window.  The simulator emits in
+            # non-decreasing round order, so one pass from the left is
+            # enough and amortises to O(1) per event.
+            while (self._round_starts
+                   and self._round_starts[0][0] <= round_ - self.window):
+                self._round_starts.pop(0)
+            if self._round_starts:
+                cut = self._round_starts[0][1]
+                if cut:
+                    del self.events[:cut]
+                    self._round_starts = [(rr, i - cut)
+                                          for rr, i in self._round_starts]
+        super().emit(round_, node, kind, *data)

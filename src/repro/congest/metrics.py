@@ -55,6 +55,25 @@ class RunMetrics:
     #: (these rounds are still counted in ``rounds``).
     skipped_rounds: int = 0
 
+    #: Data-frame re-sends performed by :class:`repro.faults.ResilientProgram`
+    #: wrappers (0 in an unwrapped run).  Counted separately so the
+    #: resilience overhead is visible next to the offered load.
+    retransmissions: int = 0
+
+    #: Pure-acknowledgement frames sent by resilient wrappers (data frames
+    #: piggyback their acks and are not counted here).
+    ack_messages: int = 0
+
+    #: What the fault injector did to this execution (drops, duplicates,
+    #: delays, corruptions, ...); empty for fault-free runs.  Note the
+    #: message/word counters above measure the *offered* load -- what the
+    #: algorithm paid for -- regardless of the fate recorded here.
+    faults: Counter = field(default_factory=Counter)
+
+    def set_fault_stats(self, stats: Dict[str, int]) -> None:
+        """Overwrite the fault counters with an injector's final tally."""
+        self.faults = Counter(stats)
+
     def record_message(self, src: int, dst: int, words: int) -> None:
         self.messages += 1
         self.words += words
@@ -104,11 +123,14 @@ class RunMetrics:
         out.node_sends = self.node_sends + other.node_sends
         out.active_rounds = self.active_rounds + other.active_rounds
         out.skipped_rounds = self.skipped_rounds + other.skipped_rounds
+        out.retransmissions = self.retransmissions + other.retransmissions
+        out.ack_messages = self.ack_messages + other.ack_messages
+        out.faults = self.faults + other.faults
         return out
 
     def summary(self) -> Dict[str, int]:
         """Compact dictionary used by the benchmark tables."""
-        return {
+        out: Dict[str, int] = {
             "rounds": self.rounds,
             "messages": self.messages,
             "words": self.words,
@@ -118,6 +140,12 @@ class RunMetrics:
             "max_node_sends": self.max_node_sends,
             "active_rounds": self.active_rounds,
         }
+        if self.retransmissions or self.ack_messages:
+            out["retransmissions"] = self.retransmissions
+            out["ack_messages"] = self.ack_messages
+        if self.faults:
+            out["faults"] = sum(self.faults.values())
+        return out
 
 
 def merge_sequential(*metrics: Optional[RunMetrics]) -> RunMetrics:

@@ -20,6 +20,12 @@ Design notes
   round counter still advances through them (``RunMetrics.skipped_rounds``
   records how many were skipped), so measured round complexity is identical
   to naive execution.
+* The fault-free path is the *default* path: fault injection
+  (``fault_plan``), invariant monitoring (``monitor``), and event
+  recording (``record_window``) all hang off ``None``/zero checks, so a
+  network built without them executes round-for-round and
+  message-for-message identically to the seed simulator
+  (tests/test_golden.py freezes the round counts to prove it).
 """
 
 from __future__ import annotations
@@ -32,7 +38,20 @@ from .node import NodeContext, Program
 
 
 class RoundLimitExceeded(RuntimeError):
-    """The execution did not quiesce within ``max_rounds`` rounds."""
+    """The execution did not quiesce within ``max_rounds`` rounds.
+
+    Carries a structured :class:`~repro.faults.watchdog.PostMortem` in
+    ``post_mortem`` (pending send schedule, in-flight envelopes, channel
+    load, fault statistics, and -- when ``Network(record_window=k)`` --
+    the last k rounds of per-node events); its rendering is appended to
+    the exception text.
+    """
+
+    def __init__(self, message: str, post_mortem: Any = None) -> None:
+        if post_mortem is not None:
+            message = f"{message}\n{post_mortem.render()}"
+        super().__init__(message)
+        self.post_mortem = post_mortem
 
 
 class Network:
@@ -54,17 +73,61 @@ class Network:
         comfortable room for ``(d, l, x, flag, nu)``-style payloads.
     channel_capacity:
         Messages allowed per directed channel per round (1 in CONGEST).
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan` (or a prebuilt
+        :class:`~repro.faults.plan.FaultInjector`): seeded message
+        drops / duplicates / delays / corruption, link failures, and
+        node crash windows, applied in the delivery phase.  ``None`` (or
+        a trivial plan) keeps the exact fault-free delivery path.
+    monitor:
+        Optional :class:`~repro.faults.monitor.InvariantMonitor` (any
+        object with ``after_round(network, r, touched)``), called after
+        each executed round's receive phase with the ids of the nodes
+        that sent or received.
+    record_window:
+        When > 0, keep the last this-many rounds of per-node send and
+        receive events in ``self.trace`` (a bounded
+        :class:`~repro.congest.events.RingTraceRecorder`) for the
+        post-mortem attached to failures.
     """
 
     def __init__(self, graph: Any,
                  program_factory: Callable[[int], Program],
                  *,
                  max_message_words: int = 8,
-                 channel_capacity: int = 1) -> None:
+                 channel_capacity: int = 1,
+                 fault_plan: Any = None,
+                 monitor: Any = None,
+                 record_window: int = 0) -> None:
+        n = getattr(graph, "n", None)
+        if not isinstance(n, int) or n < 1:
+            raise ValueError(
+                f"graph must have at least one node (graph.n >= 1), got "
+                f"n={n!r}: a CONGEST network needs processors to simulate")
+        if max_message_words < 1:
+            raise ValueError(
+                f"max_message_words must be >= 1 (a message must be able "
+                f"to carry at least one O(log n)-bit word), got "
+                f"{max_message_words}")
+        if channel_capacity < 1:
+            raise ValueError(
+                f"channel_capacity must be >= 1 (each directed channel "
+                f"carries at least one message per round in CONGEST), got "
+                f"{channel_capacity}")
+        if record_window < 0:
+            raise ValueError(
+                f"record_window must be >= 0 rounds, got {record_window}")
         self.graph = graph
-        self.n = graph.n
+        self.n = n
         self.max_message_words = max_message_words
         self.channel_capacity = channel_capacity
+        self.monitor = monitor
+        self.record_window = record_window
+        self.fault_injector = self._make_injector(fault_plan)
+        self.trace = None
+        if record_window > 0:
+            from .events import RingTraceRecorder
+            self.trace = RingTraceRecorder(record_window)
         self.programs: List[Program] = []
         self.contexts: List[NodeContext] = []
         for v in range(self.n):
@@ -77,19 +140,58 @@ class Network:
             ))
         self.metrics = RunMetrics()
         self._started = False
+        #: Last processed round; ``run`` resumes from here (see its doc).
+        self._round = 0
+
+    @staticmethod
+    def _make_injector(fault_plan: Any):
+        """Accept a FaultPlan, a prebuilt FaultInjector, or None.
+
+        A trivial plan (all rates zero, no failures) is treated as
+        ``None`` so the zero-overhead delivery path is taken.  The
+        import is local to keep ``repro.congest`` importable without
+        ``repro.faults`` (which itself imports this module's package).
+        """
+        if fault_plan is None:
+            return None
+        from ..faults.plan import FaultInjector, FaultPlan
+        if isinstance(fault_plan, FaultInjector):
+            return None if fault_plan.plan.is_trivial else fault_plan
+        if isinstance(fault_plan, FaultPlan):
+            return None if fault_plan.is_trivial else FaultInjector(fault_plan)
+        raise TypeError(
+            f"fault_plan must be a FaultPlan or FaultInjector, got "
+            f"{type(fault_plan).__name__}")
 
     # ------------------------------------------------------------------
+
+    def _post_mortem(self, reason: str, r: int,
+                     next_round: Optional[List[Optional[int]]]):
+        from ..faults.watchdog import build_post_mortem
+        return build_post_mortem(self, reason, r, next_round)
 
     def run(self, max_rounds: int) -> RunMetrics:
         """Execute rounds until every node is quiescent.
 
         Returns the accumulated :class:`RunMetrics`.  Raises
-        :class:`RoundLimitExceeded` if activity continues past
-        *max_rounds* -- for the paper's algorithms this indicates a bug,
-        since all of them have provable round bounds.
+        :class:`RoundLimitExceeded` -- with a structured post-mortem
+        attached -- if activity continues past *max_rounds*; for the
+        paper's algorithms this indicates a bug, since all of them have
+        provable round bounds.
+
+        **Re-entry / resumption semantics.**  ``run`` may be called again
+        on the same network: execution resumes from the last processed
+        round (programs are started exactly once, and the schedule is
+        re-derived from that round, not from round 0), and ``metrics``
+        keeps accumulating without double-counting.  Calling ``run`` on
+        an already-quiescent network is a no-op returning the same
+        metrics.  ``max_rounds`` is an *absolute* round number, so
+        resuming after a :class:`RoundLimitExceeded` with a larger
+        budget continues the interrupted execution.
         """
         n = self.n
         programs, contexts = self.programs, self.contexts
+        injector, monitor, recorder = self.fault_injector, self.monitor, self.trace
         if not self._started:
             for v in range(n):
                 programs[v].on_start(contexts[v])
@@ -98,72 +200,117 @@ class Network:
         # next_round[v] is the earliest round (> last processed round) at
         # which node v wants its send phase executed, or None if quiescent.
         next_round: List[Optional[int]] = [
-            programs[v].next_active_round(contexts[v], 0) for v in range(n)
+            programs[v].next_active_round(contexts[v], self._round)
+            for v in range(n)
         ]
 
         metrics = self.metrics
-        prev_r = 0
-        while True:
-            pending = [x for x in next_round if x is not None]
-            if not pending:
-                break  # global quiescence: no sends scheduled, none in flight
-            r = min(pending)
-            if r > max_rounds:
-                raise RoundLimitExceeded(
-                    f"no quiescence by round {max_rounds}; "
-                    f"next scheduled send at round {r}")
-            if r > prev_r + 1:
-                metrics.skipped_rounds += r - prev_r - 1
-            prev_r = r
+        prev_r = self._round
+        try:
+            while True:
+                pending = [x for x in next_round if x is not None]
+                if injector is not None:
+                    in_flight = injector.earliest_in_flight()
+                    if in_flight is not None:
+                        pending.append(in_flight)
+                if not pending:
+                    break  # global quiescence: no sends scheduled, none in flight
+                r = min(pending)
+                if r > max_rounds:
+                    raise RoundLimitExceeded(
+                        f"no quiescence by round {max_rounds}; "
+                        f"next scheduled activity at round {r}",
+                        self._post_mortem("round limit exceeded", max_rounds,
+                                          next_round))
+                if r > prev_r + 1:
+                    metrics.skipped_rounds += r - prev_r - 1
+                prev_r = r
+                self._round = r
 
-            # --- send phase -------------------------------------------
-            envelopes: List[Envelope] = []
-            senders: List[int] = []
-            for v in range(n):
-                if next_round[v] is not None and next_round[v] <= r:
-                    ctx = contexts[v]
-                    ctx._begin_round(r)
-                    programs[v].on_send(ctx, r)
-                    out = ctx._end_send()
-                    if out:
-                        envelopes.extend(out)
-                        metrics.node_sends[v] += 1
-                    senders.append(v)
+                # --- send phase -------------------------------------------
+                envelopes: List[Envelope] = []
+                senders: List[int] = []
+                for v in range(n):
+                    if next_round[v] is not None and next_round[v] <= r:
+                        ctx = contexts[v]
+                        ctx._begin_round(r)
+                        programs[v].on_send(ctx, r)
+                        out = ctx._end_send()
+                        if out:
+                            envelopes.extend(out)
+                            metrics.node_sends[v] += 1
+                        senders.append(v)
 
-            # --- CONGEST constraint enforcement + delivery -------------
-            inboxes: Dict[int, List[Envelope]] = {}
-            channel_load: Dict[tuple, int] = {}
-            for env in envelopes:
-                if env.words > self.max_message_words:
-                    raise MessageSizeError(
-                        f"round {r}: node {env.src} sent a {env.words}-word "
-                        f"message (budget {self.max_message_words}): "
-                        f"{env.payload!r}")
-                ch = (env.src, env.dst)
-                load = channel_load.get(ch, 0) + 1
-                if load > self.channel_capacity:
-                    raise CongestionError(
-                        f"round {r}: channel {ch} carries {load} messages "
-                        f"(capacity {self.channel_capacity})")
-                channel_load[ch] = load
-                metrics.record_message(env.src, env.dst, env.words)
-                inboxes.setdefault(env.dst, []).append(env)
+                # --- CONGEST constraint enforcement + delivery -------------
+                inboxes: Dict[int, List[Envelope]] = {}
+                channel_load: Dict[tuple, int] = {}
+                deliveries: List[Envelope] = []
+                for env in envelopes:
+                    if env.words > self.max_message_words:
+                        raise MessageSizeError(
+                            f"round {r}: node {env.src} sent a {env.words}-word "
+                            f"message (budget {self.max_message_words}): "
+                            f"{env.payload!r}")
+                    ch = (env.src, env.dst)
+                    load = channel_load.get(ch, 0) + 1
+                    if load > self.channel_capacity:
+                        raise CongestionError(
+                            f"round {r}: channel {ch} carries {load} messages "
+                            f"(capacity {self.channel_capacity})")
+                    channel_load[ch] = load
+                    metrics.record_message(env.src, env.dst, env.words)
+                    if recorder is not None:
+                        recorder.emit(r, env.src, "send", env.dst, env.payload)
+                    if injector is None:
+                        inboxes.setdefault(env.dst, []).append(env)
+                    else:
+                        # The fault model acts after enforcement and
+                        # accounting: metrics measure offered load.
+                        deliveries.extend(injector.offer(env, r, load - 1))
 
-            if envelopes:
-                metrics.active_rounds += 1
-                metrics.rounds = max(metrics.rounds, r)
+                if injector is not None:
+                    deliveries.extend(injector.take_due(r))
+                    for env in deliveries:
+                        if injector.deliverable(env, r):
+                            inboxes.setdefault(env.dst, []).append(env)
+                    if envelopes or deliveries:
+                        metrics.active_rounds += 1
+                        metrics.rounds = max(metrics.rounds, r)
+                elif envelopes:
+                    metrics.active_rounds += 1
+                    metrics.rounds = max(metrics.rounds, r)
 
-            # --- receive phase ------------------------------------------
-            receivers = sorted(inboxes)
-            for v in receivers:
-                inbox = sorted(inboxes[v], key=lambda e: e.src)
-                programs[v].on_receive(contexts[v], r, inbox)
+                # --- receive phase ------------------------------------------
+                receivers = sorted(inboxes)
+                for v in receivers:
+                    inbox = sorted(inboxes[v], key=lambda e: e.src)
+                    if recorder is not None:
+                        for env in inbox:
+                            recorder.emit(r, v, "recv", env.src, env.payload)
+                    programs[v].on_receive(contexts[v], r, inbox)
 
-            # --- reschedule ---------------------------------------------
-            touched = set(senders)
-            touched.update(receivers)
-            for v in touched:
-                next_round[v] = programs[v].next_active_round(contexts[v], r)
+                # --- reschedule ---------------------------------------------
+                touched = set(senders)
+                touched.update(receivers)
+                for v in touched:
+                    next_round[v] = programs[v].next_active_round(contexts[v], r)
+
+                if monitor is not None and touched:
+                    try:
+                        monitor.after_round(self, r, touched)
+                    except Exception as exc:
+                        # Attach the post-mortem to whatever the monitor
+                        # raised (InvariantViolation has a slot for it)
+                        # and let it propagate located, not bare.
+                        try:
+                            exc.post_mortem = self._post_mortem(
+                                f"invariant violation: {exc}", r, next_round)
+                        except AttributeError:
+                            pass
+                        raise
+        finally:
+            if injector is not None:
+                metrics.set_fault_stats(injector.stats.as_dict())
 
         return metrics
 

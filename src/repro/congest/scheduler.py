@@ -92,8 +92,21 @@ class MultiplexedNetwork:
                  *, channel_capacity: int = 1,
                  max_message_words: int = 8,
                  instance_graphs: Optional[Sequence[Any]] = None) -> None:
+        n = getattr(graph, "n", None)
+        if not isinstance(n, int) or n < 1:
+            raise ValueError(
+                f"graph must have at least one node (graph.n >= 1), got "
+                f"n={n!r}")
+        if max_message_words < 1:
+            raise ValueError(
+                f"max_message_words must be >= 1, got {max_message_words}")
+        if channel_capacity < 1:
+            raise ValueError(
+                f"channel_capacity must be >= 1, got {channel_capacity}")
+        if not program_factories:
+            raise ValueError("need at least one program factory to multiplex")
         self.graph = graph
-        self.n = graph.n
+        self.n = n
         self.k = len(program_factories)
         self.channel_capacity = channel_capacity
         self.max_message_words = max_message_words

@@ -94,19 +94,54 @@ class BellmanFordResult:
 
 def run_bellman_ford(graph: WeightedDigraph, source: int, *,
                      max_hops: Optional[int] = None,
-                     initial: Optional[Dict[int, int]] = None
+                     initial: Optional[Dict[int, int]] = None,
+                     fault_plan: Optional[object] = None,
+                     resilient: bool = False,
+                     monitor: Optional[object] = None,
+                     timeout: int = 4,
+                     max_rounds: Optional[int] = None
                      ) -> BellmanFordResult:
     """SSSP from *source*; with *max_hops* = h the result is the exact
     h-hop DP distance vector.  ``initial`` warm-starts nodes with known
-    distances (the Bellman-Ford flavour of short-range-extension)."""
+    distances (the Bellman-Ford flavour of short-range-extension).
+
+    Fault experiments: pass a :class:`~repro.faults.FaultPlan` to run
+    under injected faults, and ``resilient=True`` to wrap every node in
+    the ack/retransmit :class:`~repro.faults.ResilientProgram` (with
+    retransmission ``timeout``).  Bellman-Ford relaxation is idempotent
+    and monotone, so it tolerates duplicates and delays as-is, but a
+    *dropped* relaxation is lost forever without the wrapper.  Under
+    faults the ``hops`` output reads as "arrival round", not path hop
+    count, and ``max_hops`` truncation is no longer exact (delayed or
+    retransmitted estimates can arrive after round h) -- fault runs
+    force ``max_hops=None`` convergence semantics unless the caller
+    insists.  ``max_rounds`` overrides the quiescence budget, which is
+    auto-widened for resilient runs (retries stretch the schedule).
+    """
     initial = initial or {}
-    net = Network(graph, lambda v: BellmanFordProgram(
-        v, source, max_hops=max_hops, initial=initial.get(v)))
-    metrics = net.run(max_rounds=(max_hops or graph.n) + 2)
+    faulty = fault_plan is not None
+    if max_rounds is None:
+        if resilient or faulty:
+            # Retries/delays stretch convergence well past the hop bound;
+            # budget generously -- quiescence still ends the run early.
+            max_rounds = 40 * (graph.n + 2) + 200
+        else:
+            max_rounds = (max_hops or graph.n) + 2
+    factory = lambda v: BellmanFordProgram(
+        v, source, max_hops=max_hops, initial=initial.get(v))
+    if resilient:
+        from ..faults.resilient import run_resilient
+        outs, metrics, _ = run_resilient(
+            graph, factory, max_rounds, timeout=timeout,
+            fault_plan=fault_plan, monitor=monitor)
+    else:
+        net = Network(graph, factory, fault_plan=fault_plan, monitor=monitor)
+        metrics = net.run(max_rounds=max_rounds)
+        outs = net.outputs()
     dist: List[float] = [INF] * graph.n
     hops: List[float] = [INF] * graph.n
     parent: List[Optional[int]] = [None] * graph.n
-    for v, (d, l, p) in enumerate(net.outputs()):
+    for v, (d, l, p) in enumerate(outs):
         dist[v], hops[v], parent[v] = d, l, p
     return BellmanFordResult(source=source, dist=dist, hops=hops,
                              parent=parent, metrics=metrics)

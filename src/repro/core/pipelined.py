@@ -275,7 +275,10 @@ def run_hk_ssp(graph: WeightedDigraph, sources: Sequence[int], h: int,
                directed_broadcast: bool = True,
                eviction: str = "budget",
                trace: Optional[TraceRecorder] = None,
-               max_rounds: Optional[int] = None) -> HKSSPResult:
+               max_rounds: Optional[int] = None,
+               fault_plan: Optional[object] = None,
+               monitor: Optional[object] = None,
+               record_window: int = 0) -> HKSSPResult:
     """Run Algorithm 1 on *graph* for the source set *sources*.
 
     Parameters
@@ -291,6 +294,16 @@ def run_hk_ssp(graph: WeightedDigraph, sources: Sequence[int], h: int,
     cutoff:
         Stop sends after the Lemma II.14 round bound (the real algorithm's
         termination rule).  Disable to observe natural quiescence.
+    fault_plan / monitor / record_window:
+        Forwarded to :class:`~repro.congest.network.Network`.  **Caveat**:
+        Algorithm 1's schedule ``ceil(kappa + pos)`` *is* its correctness
+        mechanism -- Invariants 1 and 2 assume every sent entry arrives in
+        its send round, so the algorithm is fundamentally not drop- or
+        delay-tolerant, and the ack/retransmit wrapper cannot help (a
+        retransmitted entry arrives off-schedule and the pipelining
+        argument collapses).  Fault injection here is for *observing* the
+        failure modes; attach ``monitor=InvariantMonitor(pipelined_invariants())``
+        to catch the moment the schedule breaks.
 
     Returns an :class:`HKSSPResult` (see its docstring for the exact
     output contract); validation against the sequential oracles is the
@@ -329,7 +342,8 @@ def run_hk_ssp(graph: WeightedDigraph, sources: Sequence[int], h: int,
         programs.append(p)
         return p
 
-    net = Network(graph, factory)
+    net = Network(graph, factory, fault_plan=fault_plan, monitor=monitor,
+                  record_window=record_window)
     metrics = net.run(max_rounds=max_rounds)
 
     dist: Dict[int, List[float]] = {x: [INF] * graph.n for x in sources}

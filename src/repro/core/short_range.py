@@ -151,7 +151,11 @@ def run_short_range(graph: WeightedDigraph, source: int, h: int,
                     delta: Optional[int] = None, *,
                     initial: Optional[Dict[int, int]] = None,
                     cutoff: bool = True,
-                    max_rounds: Optional[int] = None) -> ShortRangeResult:
+                    max_rounds: Optional[int] = None,
+                    fault_plan: Optional[object] = None,
+                    resilient: bool = False,
+                    monitor: Optional[object] = None,
+                    timeout: int = 4) -> ShortRangeResult:
     """Run Algorithm 2 from *source* with hop range *h*.
 
     ``initial`` turns this into the short-range-extension algorithm:
@@ -159,6 +163,15 @@ def run_short_range(graph: WeightedDigraph, source: int, h: int,
     *source* (e.g. from an earlier short-range phase); those nodes start
     with ``(d*, l*) = (initial[v], 0)`` and paths are extended by up to
     *h* further hops.
+
+    Fault experiments: ``fault_plan`` injects faults; ``resilient=True``
+    wraps nodes in the ack/retransmit wrapper.  Algorithm 2's schedule
+    ``ceil(d* gamma2 + l*)`` assumes a pair arrives before its nominal
+    round (Lemma II.15) -- a retransmitted pair does not, so resilient
+    runs force ``delay_tolerant=True`` (late pairs reschedule to the
+    next round instead of dying) and disable the cutoff (the dilation
+    bound no longer holds under retries).  The Lemma II.15 bound fields
+    of the result then describe the *fault-free* schedule only.
     """
     if h < 1:
         raise ValueError(f"hop range must be >= 1, got {h}")
@@ -173,21 +186,38 @@ def run_short_range(graph: WeightedDigraph, source: int, h: int,
                                    for v, dv in initial.items()])
     gamma2 = math.sqrt(h)
     dilation_bound = math.ceil(delta * gamma2 + h) + 2
+    faulty = fault_plan is not None
+    if resilient or faulty:
+        # Retries and delays break the nominal timetable: the cutoff
+        # would silence legitimate late traffic and the dilation bound
+        # no longer limits the run.
+        cutoff = False
     cutoff_round = dilation_bound if cutoff else None
     if max_rounds is None:
         max_rounds = dilation_bound + h + 16
+        if resilient or faulty:
+            max_rounds = 40 * max_rounds + 200
 
-    net = Network(graph, lambda v: ShortRangeProgram(
+    factory = lambda v: ShortRangeProgram(
         v, source, h, gamma2,
         initial=initial.get(v),
         cutoff_round=cutoff_round,
-    ))
-    metrics = net.run(max_rounds=max_rounds)
+        delay_tolerant=resilient or faulty,
+    )
+    if resilient:
+        from ..faults.resilient import run_resilient
+        outs, metrics, _ = run_resilient(
+            graph, factory, max_rounds, timeout=timeout,
+            fault_plan=fault_plan, monitor=monitor)
+    else:
+        net = Network(graph, factory, fault_plan=fault_plan, monitor=monitor)
+        metrics = net.run(max_rounds=max_rounds)
+        outs = net.outputs()
 
     dist: List[float] = [INF] * graph.n
     hops: List[float] = [INF] * graph.n
     parent: List[Optional[int]] = [None] * graph.n
-    for v, (d, l, p) in enumerate(net.outputs()):
+    for v, (d, l, p) in enumerate(outs):
         dist[v], hops[v], parent[v] = d, l, p
 
     return ShortRangeResult(

@@ -1,0 +1,72 @@
+"""Fault injection and resilience for the CONGEST simulator.
+
+The paper proves round bounds in a fault-free synchronous network; this
+package supplies the machinery to study what happens outside that ideal
+world, in four pieces:
+
+* :class:`FaultPlan` / :class:`FaultInjector` -- a deterministic, seeded
+  description of message drops, duplications, bounded delays, payload
+  corruption, link failures, and node crash windows, applied in the
+  delivery phase of :meth:`~repro.congest.network.Network.run`.
+* :class:`ResilientProgram` / :func:`run_resilient` -- ack-based
+  retransmission framing that makes any :class:`~repro.congest.node.Program`
+  drop/duplicate/corruption-tolerant, with the protocol overhead counted
+  separately in :class:`~repro.congest.metrics.RunMetrics`.
+* :class:`InvariantMonitor` -- per-round runtime checks (the paper's two
+  pipelining invariants, distance monotonicity, oracle lower bounds)
+  that turn silent corruption into an :class:`InvariantViolation` naming
+  the node, round, and invariant.
+* :class:`PostMortem` -- the structured dump a failing run attaches to
+  ``RoundLimitExceeded`` / :class:`InvariantViolation` instead of dying
+  bare.
+
+See docs/ALGORITHM.md ("Fault model & resilience") for which of the
+paper's algorithms tolerate which faults, and docs/TUTORIAL.md for a
+walkthrough.
+"""
+
+from .monitor import (
+    DistanceLowerBound,
+    DistanceMonotonicity,
+    Invariant,
+    InvariantMonitor,
+    InvariantViolation,
+    PipelineBudgetInvariant,
+    PipelineScheduleInvariant,
+    distance_map,
+    oracle_monitor,
+    pipelined_invariants,
+)
+from .plan import (
+    CrashWindow,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    LinkFailure,
+    corrupt_payload,
+)
+from .resilient import ResilientProgram, run_resilient
+from .watchdog import PostMortem, build_post_mortem
+
+__all__ = [
+    "CrashWindow",
+    "DistanceLowerBound",
+    "DistanceMonotonicity",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "Invariant",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "LinkFailure",
+    "PipelineBudgetInvariant",
+    "PipelineScheduleInvariant",
+    "PostMortem",
+    "ResilientProgram",
+    "build_post_mortem",
+    "corrupt_payload",
+    "distance_map",
+    "oracle_monitor",
+    "pipelined_invariants",
+    "run_resilient",
+]

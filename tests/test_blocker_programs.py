@@ -13,7 +13,7 @@ from repro.core.blocker import (
     ScoreInitProgram,
     tree_scores,
 )
-from repro.graphs import WeightedDigraph, path_graph
+from repro.graphs import path_graph
 
 
 @pytest.fixture

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.congest import Envelope, payload_words
-from repro.congest.message import MessageSizeError
 
 
 class TestPayloadWords:

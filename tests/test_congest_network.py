@@ -247,3 +247,55 @@ class TestLocality:
         net = Network(line(3), lambda v: Spammer())
         with pytest.raises(ValueError, match="no channel"):
             net.run(max_rounds=3)
+
+
+class TestConstructorValidation:
+    """Network rejects unusable parameters with actionable messages."""
+
+    def test_zero_word_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_message_words"):
+            Network(line(3), Relay, max_message_words=0)
+
+    def test_zero_channel_capacity_rejected(self):
+        with pytest.raises(ValueError, match="channel_capacity"):
+            Network(line(3), Relay, channel_capacity=0)
+
+    def test_nodeless_graph_rejected(self):
+        class NoNodes:
+            n = 0
+        with pytest.raises(ValueError, match="graph.n >= 1"):
+            Network(NoNodes(), Relay)
+
+
+class TestRunResumption:
+    """run() may be re-entered: execution resumes from the last
+    processed round without double-starting programs or double-counting
+    metrics (documented on Network.run)."""
+
+    def test_interrupted_run_resumes_to_same_result(self):
+        n = 6
+        net = Network(line(n), Relay)
+        with pytest.raises(RoundLimitExceeded):
+            net.run(max_rounds=2)  # token is only 2 hops in
+        net.run(max_rounds=20)     # absolute budget; resumes at round 3
+        fresh = Network(line(n), Relay)
+        fm = fresh.run(max_rounds=20)
+        assert [net.output_of(v) for v in range(n)] == \
+               [fresh.output_of(v) for v in range(n)]
+        assert (net.metrics.rounds, net.metrics.messages,
+                net.metrics.active_rounds) == \
+               (fm.rounds, fm.messages, fm.active_rounds)
+
+    def test_programs_started_exactly_once(self):
+        starts = []
+
+        class CountingPinger(Pinger):
+            def on_start(self, ctx):
+                starts.append(ctx.node)
+
+        net = Network(line(3), CountingPinger)
+        with pytest.raises(RoundLimitExceeded):
+            net.run(max_rounds=0)
+        net.run(max_rounds=10)
+        net.run(max_rounds=10)
+        assert sorted(starts) == [0, 1, 2]

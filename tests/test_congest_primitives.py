@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.congest import (
     broadcast_single,
     build_bfs_tree,

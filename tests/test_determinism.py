@@ -40,3 +40,71 @@ def test_two_runs_identical(runner, kwargs):
     b = runner(g2, **kwargs)
     assert snapshots(a) == snapshots(b)
     assert a.dist == b.dist
+
+
+def fault_digest():
+    """One canonical fault-injected resilient run, reduced to a digest.
+
+    Everything measurable goes in: outputs, metrics, per-channel counts,
+    fault statistics, wrapper overhead.  Any hidden dependence on hash
+    ordering or process state changes the digest.
+    """
+    import hashlib
+
+    from repro.core.bellman_ford import run_bellman_ford
+    from repro.faults import FaultPlan
+
+    g = random_graph(12, p=0.35, w_max=8, seed=7)
+    plan = FaultPlan(seed=3, drop_rate=0.15, duplicate_rate=0.1,
+                     delay_rate=0.1, corrupt_rate=0.05, max_delay=3)
+    res = run_bellman_ford(g, 0, fault_plan=plan, resilient=True)
+    m = res.metrics
+    blob = repr((res.dist, res.parent, m.rounds, m.messages, m.words,
+                 sorted(m.channel_messages.items()),
+                 sorted(m.node_sends.items()),
+                 m.retransmissions, m.ack_messages,
+                 sorted(m.faults.items())))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def test_fault_injected_runs_identical():
+    """Same graph + same FaultPlan seed => bit-identical executions."""
+    assert fault_digest() == fault_digest()
+
+
+def test_fault_seed_changes_execution():
+    from repro.core.bellman_ford import run_bellman_ford
+    from repro.faults import FaultPlan
+
+    g = random_graph(12, p=0.35, w_max=8, seed=7)
+    stats = []
+    for seed in (1, 2, 3):
+        res = run_bellman_ford(g, 0, resilient=True,
+                               fault_plan=FaultPlan(seed=seed,
+                                                    drop_rate=0.3))
+        stats.append((res.metrics.messages, dict(res.metrics.faults)))
+    assert len({repr(s) for s in stats}) > 1  # seeds actually matter
+
+
+def test_fault_digest_stable_under_pythonhashseed():
+    """The digest survives PYTHONHASHSEED changes: fault coin flips are
+    SHA-256-derived, never ``hash()``-derived.  Run the same digest in
+    subprocesses with adversarial hash seeds and compare."""
+    import os
+    import subprocess
+    import sys
+
+    code = ("from test_determinism import fault_digest; "
+            "print(fault_digest())")
+    digests = set()
+    for hashseed in ("0", "1", "424242"):
+        env = dict(os.environ, PYTHONHASHSEED=hashseed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", ""), "tests") if p)
+        proc = subprocess.run(
+            [sys.executable, "-c", code], cwd=os.path.dirname(
+                os.path.dirname(os.path.abspath(__file__))),
+            env=env, capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        digests.add(proc.stdout.strip())
+    assert len(digests) == 1, f"hash-seed-dependent executions: {digests}"

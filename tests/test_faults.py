@@ -1,0 +1,335 @@
+"""Fault plans, the injector, network validation, and post-mortems."""
+
+import pytest
+
+from repro.congest import Network, RingTraceRecorder, RoundLimitExceeded
+from repro.core.bellman_ford import BellmanFordProgram, run_bellman_ford
+from repro.faults import (
+    CrashWindow,
+    FaultInjector,
+    FaultPlan,
+    LinkFailure,
+    corrupt_payload,
+)
+from repro.graphs import random_graph
+from repro.graphs.generators import path_graph
+from repro.graphs.reference import dijkstra
+
+
+def bf_factory(source=0):
+    return lambda v: BellmanFordProgram(v, source=source)
+
+
+class TestFaultPlan:
+    def test_default_plan_is_trivial(self):
+        assert FaultPlan().is_trivial
+
+    def test_any_rate_makes_plan_nontrivial(self):
+        assert not FaultPlan(drop_rate=0.1).is_trivial
+        assert not FaultPlan(crashes=(CrashWindow(0, 1),)).is_trivial
+        assert not FaultPlan(link_failures=(LinkFailure(0, 1),)).is_trivial
+
+    @pytest.mark.parametrize("field", ["drop_rate", "duplicate_rate",
+                                       "delay_rate", "corrupt_rate"])
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_rates_validated(self, field, bad):
+        with pytest.raises(ValueError, match=field):
+            FaultPlan(**{field: bad})
+
+    def test_max_delay_validated(self):
+        with pytest.raises(ValueError, match="max_delay"):
+            FaultPlan(max_delay=0)
+
+    def test_describe_names_active_faults(self):
+        plan = FaultPlan(seed=7, drop_rate=0.25,
+                         crashes=(CrashWindow(3, 10, 20),))
+        text = plan.describe()
+        assert "seed=7" in text and "drop=0.25" in text
+        assert "crash 3@10:20" in text
+
+
+class TestCrashWindow:
+    def test_parse_permanent(self):
+        cw = CrashWindow.parse("3@10")
+        assert (cw.node, cw.crash_round, cw.restart_round) == (3, 10, None)
+        assert cw.down_at(10) and cw.down_at(10_000) and not cw.down_at(9)
+
+    def test_parse_with_restart(self):
+        cw = CrashWindow.parse("5@4:9")
+        assert cw.down_at(4) and cw.down_at(8)
+        assert not cw.down_at(9)  # restart round is up again
+
+    @pytest.mark.parametrize("bad", ["3", "x@4", "3@", "3@a:b", ""])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError, match="crash spec"):
+            CrashWindow.parse(bad)
+
+
+class TestCorruptPayload:
+    def test_perturbs_first_numeric_field(self):
+        new, changed = corrupt_payload((4, 2), 1)
+        assert changed and new == (3, 2)
+
+    def test_recurses_into_nested_tuples(self):
+        new, changed = corrupt_payload(("D", (7, 1)), 2)
+        assert changed and new == ("D", (5, 1))
+
+    def test_bools_and_strings_untouched(self):
+        assert corrupt_payload((True, "x"), 1) == ((True, "x"), False)
+
+
+class TestFaultInjectorDeterminism:
+    def test_same_seed_same_fate(self):
+        g = random_graph(10, p=0.4, w_max=5, seed=3)
+        plan = FaultPlan(seed=9, drop_rate=0.2, duplicate_rate=0.1,
+                         delay_rate=0.1, corrupt_rate=0.1)
+
+        def run():
+            net = Network(g, bf_factory(), fault_plan=plan)
+            m = net.run(max_rounds=200)
+            return (m.rounds, m.messages, dict(m.faults),
+                    sorted(m.channel_messages.items()), net.outputs())
+
+        assert run() == run()
+
+    def test_different_seed_different_execution(self):
+        g = random_graph(10, p=0.4, w_max=5, seed=3)
+
+        def channel_counts(seed):
+            net = Network(g, bf_factory(),
+                          fault_plan=FaultPlan(seed=seed, drop_rate=0.3))
+            m = net.run(max_rounds=200)
+            return (m.messages, sorted(m.channel_messages.items()),
+                    dict(m.faults))
+
+        runs = [channel_counts(seed) for seed in (1, 2, 3, 4)]
+        assert len({repr(r) for r in runs}) > 1  # the seed matters
+        assert channel_counts(1) == runs[0]      # ... deterministically
+
+
+class TestInjectedFaultSemantics:
+    def test_drops_lose_relaxations(self):
+        g = random_graph(12, p=0.35, w_max=8, seed=7)
+        true, _ = dijkstra(g, 0)
+        net = Network(g, bf_factory(),
+                      fault_plan=FaultPlan(seed=3, drop_rate=0.15))
+        net.run(max_rounds=100)
+        dist = [o[0] for o in net.outputs()]
+        assert net.metrics.faults["drops"] > 0
+        assert dist != list(true)  # without retransmission, drops hurt
+        assert all(d >= t for d, t in zip(dist, true))  # never undershoot
+
+    def test_duplicates_and_delays_are_harmless_to_bf(self):
+        # Bellman-Ford relaxation is idempotent and monotone: duplicated
+        # or late estimates cannot change the fixpoint.
+        g = random_graph(12, p=0.35, w_max=8, seed=7)
+        true, _ = dijkstra(g, 0)
+        plan = FaultPlan(seed=5, duplicate_rate=0.3, delay_rate=0.3,
+                         max_delay=4)
+        net = Network(g, bf_factory(), fault_plan=plan)
+        net.run(max_rounds=300)
+        assert [o[0] for o in net.outputs()] == list(true)
+        assert (net.metrics.faults["duplicates"] > 0
+                and net.metrics.faults["delays"] > 0)
+
+    def test_permanent_link_failure_partitions_path(self):
+        g = path_graph(4, w=1)  # 0 - 1 - 2 - 3
+        plan = FaultPlan(link_failures=(LinkFailure(1, 2),))
+        net = Network(g, bf_factory(), fault_plan=plan)
+        net.run(max_rounds=50)
+        dist = [o[0] for o in net.outputs()]
+        assert dist[0] == 0 and dist[1] == 1
+        assert dist[2] == float("inf") and dist[3] == float("inf")
+        assert net.metrics.faults["link_drops"] > 0
+
+    def test_transient_link_failure_heals(self):
+        # The failure window ends before node 1 gives up re-announcing?
+        # Bellman-Ford announces once; a transient failure during that
+        # single announcement permanently loses it -- seed with a second
+        # chance by delaying the window start past the announcement.
+        g = path_graph(4, w=1)
+        plan = FaultPlan(link_failures=(LinkFailure(2, 3, start=1, end=1),))
+        net = Network(g, bf_factory(), fault_plan=plan)
+        net.run(max_rounds=50)
+        dist = [o[0] for o in net.outputs()]
+        # 2 learns d=2 in round 2 and announces in round 3 -- after the
+        # window closed -- so 3 still converges.
+        assert dist[3] == 3
+
+    def test_crash_restart_omission_window(self):
+        g = path_graph(3, w=1)  # 0 - 1 - 2
+        # Node 1 is down exactly when node 0 announces (round 1); node 2
+        # can then never learn a finite distance from the single
+        # announcement.
+        plan = FaultPlan(crashes=(CrashWindow(1, 1, 3),))
+        net = Network(g, bf_factory(), fault_plan=plan)
+        net.run(max_rounds=50)
+        dist = [o[0] for o in net.outputs()]
+        assert dist[1] == float("inf") and dist[2] == float("inf")
+        assert net.metrics.faults["crash_recv_drops"] > 0
+
+    def test_fault_stats_land_in_metrics(self):
+        g = random_graph(8, p=0.5, w_max=4, seed=1)
+        net = Network(g, bf_factory(),
+                      fault_plan=FaultPlan(seed=2, drop_rate=0.5))
+        m = net.run(max_rounds=100)
+        assert m.faults["drops"] > 0
+        assert sum(m.faults.values()) == m.faults["drops"]
+
+
+class TestNetworkValidation:
+    def test_rejects_empty_graph(self):
+        class Empty:
+            n = 0
+            out_edges = in_edges = comm_neighbors = staticmethod(lambda v: [])
+        with pytest.raises(ValueError, match="at least one node"):
+            Network(Empty(), bf_factory())
+
+    def test_rejects_bad_message_budget(self):
+        g = random_graph(4, p=0.5, seed=0)
+        with pytest.raises(ValueError, match="max_message_words"):
+            Network(g, bf_factory(), max_message_words=0)
+
+    def test_rejects_bad_channel_capacity(self):
+        g = random_graph(4, p=0.5, seed=0)
+        with pytest.raises(ValueError, match="channel_capacity"):
+            Network(g, bf_factory(), channel_capacity=0)
+
+    def test_rejects_negative_record_window(self):
+        g = random_graph(4, p=0.5, seed=0)
+        with pytest.raises(ValueError, match="record_window"):
+            Network(g, bf_factory(), record_window=-1)
+
+    def test_rejects_wrong_fault_plan_type(self):
+        g = random_graph(4, p=0.5, seed=0)
+        with pytest.raises(TypeError, match="FaultPlan"):
+            Network(g, bf_factory(), fault_plan="drop everything")
+
+    def test_multiplexer_validates_too(self):
+        from repro.congest.scheduler import MultiplexedNetwork
+        g = random_graph(4, p=0.5, seed=0)
+        with pytest.raises(ValueError, match="channel_capacity"):
+            MultiplexedNetwork(g, [bf_factory()], channel_capacity=0)
+        with pytest.raises(ValueError, match="factory"):
+            MultiplexedNetwork(g, [])
+
+    def test_trivial_plan_uses_plain_path(self):
+        g = random_graph(6, p=0.5, seed=0)
+        net = Network(g, bf_factory(), fault_plan=FaultPlan())
+        assert net.fault_injector is None
+
+    def test_prebuilt_injector_accepted(self):
+        g = random_graph(6, p=0.5, seed=0)
+        inj = FaultInjector(FaultPlan(seed=1, drop_rate=0.5))
+        net = Network(g, bf_factory(), fault_plan=inj)
+        assert net.fault_injector is inj
+
+
+class TestRunResumption:
+    def test_rerun_after_quiescence_is_noop(self):
+        g = random_graph(8, p=0.4, w_max=5, seed=2)
+        net = Network(g, bf_factory())
+        m1 = net.run(max_rounds=50)
+        snapshot = (m1.rounds, m1.messages, m1.words, m1.active_rounds)
+        m2 = net.run(max_rounds=50)
+        assert m2 is m1  # same accumulating object
+        assert (m2.rounds, m2.messages, m2.words,
+                m2.active_rounds) == snapshot
+
+    def test_resume_after_round_limit_continues_cleanly(self):
+        g = path_graph(6, w=1)
+        net = Network(g, bf_factory())
+        with pytest.raises(RoundLimitExceeded):
+            net.run(max_rounds=2)
+        partial = net.metrics.messages
+        # Resuming with a bigger absolute budget finishes the execution.
+        net.run(max_rounds=50)
+        assert net.metrics.messages > partial
+        assert [o[0] for o in net.outputs()] == [0, 1, 2, 3, 4, 5]
+
+        # The interrupted-and-resumed execution matches an uninterrupted
+        # one exactly -- no double-counted rounds or messages.
+        fresh = Network(g, bf_factory())
+        fm = fresh.run(max_rounds=50)
+        assert (net.metrics.rounds, net.metrics.messages,
+                net.metrics.words) == (fm.rounds, fm.messages, fm.words)
+
+
+class TestPostMortem:
+    class NeverQuiet(BellmanFordProgram):
+        """Announces every round forever -- guaranteed round-limit hit."""
+
+        def on_send(self, ctx, r):
+            ctx.broadcast_out((self.d if self.d != float("inf") else 10**6,))
+            self._announce = r + 1
+
+        def next_active_round(self, ctx, r):
+            return r + 1
+
+    def test_round_limit_carries_post_mortem(self):
+        g = path_graph(3, w=1)
+        net = Network(g, lambda v: self.NeverQuiet(v, source=0),
+                      record_window=2)
+        with pytest.raises(RoundLimitExceeded) as exc_info:
+            net.run(max_rounds=6)
+        exc = exc_info.value
+        assert exc.post_mortem is not None
+        assert exc.post_mortem.pending_sends  # every node still scheduled
+        assert exc.post_mortem.recent_events  # flight recorder captured
+        text = str(exc)
+        assert "post-mortem" in text and "pending sends" in text
+
+    def test_post_mortem_mentions_in_flight_envelopes(self):
+        g = path_graph(3, w=1)
+        plan = FaultPlan(seed=1, delay_rate=1.0, max_delay=30)
+        net = Network(g, lambda v: BellmanFordProgram(v, source=0),
+                      fault_plan=plan)
+        with pytest.raises(RoundLimitExceeded) as exc_info:
+            net.run(max_rounds=2)  # delayed traffic still in flight
+        pm = exc_info.value.post_mortem
+        assert pm.in_flight
+        assert pm.fault_stats["delays"] > 0
+
+    def test_no_record_window_hints_at_flag(self):
+        g = path_graph(3, w=1)
+        net = Network(g, lambda v: self.NeverQuiet(v, source=0))
+        with pytest.raises(RoundLimitExceeded,
+                           match="record_window"):
+            net.run(max_rounds=4)
+
+
+class TestRingTraceRecorder:
+    def test_keeps_only_last_window_rounds(self):
+        rec = RingTraceRecorder(window=2)
+        for r in range(1, 6):
+            rec.emit(r, 0, "send", r)
+            rec.emit(r, 1, "recv", r)
+        rounds = sorted({e.round for e in rec})
+        assert rounds == [4, 5]
+        assert len(rec) == 4
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError, match="window"):
+            RingTraceRecorder(0)
+
+    def test_query_helpers_still_work(self):
+        rec = RingTraceRecorder(window=3)
+        rec.emit(1, 0, "send", "a")
+        rec.emit(2, 1, "recv", "b")
+        assert [e.kind for e in rec.of_kind("send")] == ["send"]
+        assert set(rec.per_node()) == {0, 1}
+
+
+class TestHighLevelFaultKwargs:
+    def test_run_bellman_ford_accepts_fault_plan(self):
+        g = random_graph(10, p=0.4, w_max=6, seed=4)
+        res = run_bellman_ford(g, 0, fault_plan=FaultPlan(seed=1,
+                                                          drop_rate=0.2))
+        assert res.metrics.faults["drops"] > 0
+
+    def test_pipelined_forwards_fault_plan(self):
+        from repro.core import run_hk_ssp
+        g = random_graph(8, p=0.4, w_max=4, seed=4)
+        res = run_hk_ssp(g, [0], 3,
+                         fault_plan=FaultPlan(seed=1, drop_rate=0.3))
+        assert res.metrics.faults["drops"] > 0

@@ -44,3 +44,38 @@ def test_golden_blocker(name):
 
 def test_fixtures_present():
     assert len(CASES) >= 3
+
+
+def load_metrics_fixture(name):
+    return json.loads((DATA / f"{name}.metrics.json").read_text())
+
+
+def metrics_summary(m):
+    return {
+        "rounds": m.rounds, "messages": m.messages, "words": m.words,
+        "active_rounds": m.active_rounds,
+        "max_edge_congestion": m.max_edge_congestion,
+        "max_node_sends": m.max_node_sends,
+    }
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_golden_metrics_zero_overhead(name):
+    """The fault layer must be invisible when disabled: the frozen round
+    and message counts of the seed simulator are reproduced exactly,
+    both with no fault arguments and with an explicitly trivial plan."""
+    from repro.faults import FaultPlan
+
+    g, _ = load_case(name)
+    expected = load_metrics_fixture(name)
+
+    res = run_apsp(g)
+    assert metrics_summary(res.metrics) == expected["pipelined"], name
+    assert dict(res.metrics.faults) == {}
+
+    res_b = run_apsp_blocker(g)
+    assert metrics_summary(res_b.metrics) == expected["blocker"], name
+
+    # A trivial (all-zero) plan must take the identical delivery path.
+    res_t = run_apsp(g, fault_plan=FaultPlan())
+    assert metrics_summary(res_t.metrics) == expected["pipelined"], name

@@ -5,8 +5,6 @@ random parameter ranges, the float implementation's orderings and
 ceilings agree bit-for-bit with exact integer arithmetic.
 """
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,0 +1,123 @@
+"""Invariant monitoring: silent corruption becomes a located failure."""
+
+import pytest
+
+from repro.congest import Network
+from repro.core.bellman_ford import BellmanFordProgram
+from repro.core.pipelined import run_hk_ssp
+from repro.faults import (
+    DistanceMonotonicity,
+    FaultPlan,
+    InvariantMonitor,
+    InvariantViolation,
+    distance_map,
+    oracle_monitor,
+    pipelined_invariants,
+)
+from repro.graphs import random_graph
+from repro.graphs.reference import dijkstra
+
+
+def bf_factory(source=0):
+    return lambda v: BellmanFordProgram(v, source=source)
+
+
+class TestDistanceMap:
+    def test_reads_bellman_ford_scalar(self):
+        p = BellmanFordProgram(0, source=0)
+        assert distance_map(p) == {0: 0}
+
+    def test_unknown_program_gives_none(self):
+        class Opaque:
+            pass
+        assert distance_map(Opaque()) is None
+
+
+class TestCleanRunsPass:
+    def test_monitor_quiet_on_faultfree_bf(self):
+        g = random_graph(10, p=0.4, w_max=6, seed=1)
+        mon = oracle_monitor(g, [0])
+        net = Network(g, bf_factory(), monitor=mon)
+        net.run(max_rounds=50)
+        assert mon.rounds_checked > 0
+
+    def test_pipelined_invariants_hold_on_clean_run(self):
+        g = random_graph(10, p=0.3, w_max=5, zero_fraction=0.3, seed=2)
+        mon = InvariantMonitor(pipelined_invariants())
+        res = run_hk_ssp(g, [0, 3, 6], 4, monitor=mon)
+        assert res.metrics.rounds > 0
+        assert mon.rounds_checked > 0
+
+    def test_every_dial_reduces_checks(self):
+        g = random_graph(10, p=0.4, w_max=6, seed=1)
+        every = InvariantMonitor(every=3)
+        net = Network(g, bf_factory(), monitor=every)
+        net.run(max_rounds=50)
+        dense = InvariantMonitor(every=1)
+        net2 = Network(g, bf_factory(), monitor=dense)
+        net2.run(max_rounds=50)
+        assert every.rounds_checked < dense.rounds_checked
+
+    def test_every_validated(self):
+        with pytest.raises(ValueError, match="every"):
+            InvariantMonitor(every=0)
+
+
+class TestCorruptionCaught:
+    """The acceptance test: inject corruption, assert the violation
+    names the node, the round, and the invariant."""
+
+    def test_oracle_monitor_catches_distance_lowering_corruption(self):
+        g = random_graph(12, p=0.35, w_max=8, seed=7)
+        plan = FaultPlan(seed=5, corrupt_rate=0.2)
+        mon = oracle_monitor(g, [0])
+        net = Network(g, bf_factory(), fault_plan=plan, monitor=mon,
+                      record_window=3)
+        with pytest.raises(InvariantViolation) as exc_info:
+            net.run(max_rounds=100)
+        exc = exc_info.value
+        # The violation is fully located:
+        assert exc.invariant == "distance-lower-bound"
+        assert isinstance(exc.node, int) and 0 <= exc.node < g.n
+        assert isinstance(exc.round, int) and exc.round >= 1
+        # ... and says so in its message:
+        text = str(exc)
+        assert "distance-lower-bound" in text
+        assert f"node {exc.node}" in text
+        assert f"round {exc.round}" in text
+        # ... and carries the post-mortem with the flight recording.
+        assert exc.post_mortem is not None
+        assert exc.post_mortem.fault_stats["corruptions"] > 0
+        assert exc.post_mortem.recent_events
+
+    def test_corrupted_estimate_really_undershoots(self):
+        # The same run without a monitor silently produces estimates
+        # below the true distances -- the failure mode the monitor turns
+        # into a located exception above.
+        g = random_graph(12, p=0.35, w_max=8, seed=7)
+        true, _ = dijkstra(g, 0)
+        plan = FaultPlan(seed=5, corrupt_rate=0.2)
+        net = Network(g, bf_factory(), fault_plan=plan)
+        net.run(max_rounds=100)
+        dist = [o[0] for o in net.outputs()]
+        assert any(d < t for d, t in zip(dist, true))
+
+
+class TestMonotonicity:
+    class Backslider(BellmanFordProgram):
+        """Deliberately raises its estimate after converging."""
+
+        def on_receive(self, ctx, r, inbox):
+            super().on_receive(ctx, r, inbox)
+            if r == 3 and self.d not in (0, float("inf")):
+                self.d += 5  # illegal: estimates may only improve
+
+    def test_monotonicity_violation_detected(self):
+        g = random_graph(10, p=0.5, w_max=4, seed=3)
+        mon = InvariantMonitor([DistanceMonotonicity()])
+        net = Network(g, lambda v: self.Backslider(v, source=0),
+                      monitor=mon)
+        with pytest.raises(InvariantViolation) as exc_info:
+            net.run(max_rounds=50)
+        assert exc_info.value.invariant == "distance-monotonicity"
+        assert "increased" in exc_info.value.detail

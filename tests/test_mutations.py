@@ -10,8 +10,6 @@ corresponding invariant check has gone soft and this suite fails.
 
 import random
 
-import pytest
-
 from repro.congest import Network
 from repro.core.keys import gamma_for
 from repro.core.pipelined import PipelinedSSPProgram, theorem11_round_bound

@@ -187,7 +187,7 @@ class TestTracing:
         import math
         g = random_graph(9, p=0.35, w_max=5, zero_fraction=0.4, seed=8)
         trace = TraceRecorder()
-        res = run_hk_ssp(g, [0, 3, 6], 4, trace=trace)
+        run_hk_ssp(g, [0, 3, 6], 4, trace=trace)
         for e in trace.of_kind("insert"):
             d, l, x, kappa, pos = e.data
             assert e.round < math.ceil(kappa + pos)

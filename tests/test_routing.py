@@ -40,7 +40,6 @@ class TestRoutes:
                 if r is None or v == x:
                     continue
                 walk = [x]
-                cur = x
                 # note: next hops here are per-source trees; walk the
                 # route by re-slicing the path
                 for node in r.path[1:]:
