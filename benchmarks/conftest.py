@@ -8,8 +8,12 @@ section 3.  The pattern:
   wall time without re-running a multi-second simulation dozens of times;
 * the sweep's :class:`~repro.analysis.records.ExperimentReport` is
   asserted against the paper's bounds and registered here;
-* at session end every registered report is rendered to
-  ``benchmarks/last_run_reports.txt`` -- the source for EXPERIMENTS.md.
+* at session end every registered report goes through
+  :func:`repro.obs.write_last_run_reports`, which persists
+  ``BENCH_last_run.json`` in this directory and regenerates
+  ``benchmarks/last_run_reports.txt`` from the stored record -- the
+  source for EXPERIMENTS.md, and a diffable baseline for
+  ``repro obs diff``.
 """
 
 from __future__ import annotations
@@ -19,10 +23,10 @@ from typing import List
 
 import pytest
 
-from repro.analysis import ExperimentReport, render_report
+from repro.analysis import ExperimentReport
 
 _REPORTS: List[ExperimentReport] = []
-_OUTPUT = Path(__file__).parent / "last_run_reports.txt"
+_STORE = Path(__file__).parent
 
 
 def record_report(report: ExperimentReport) -> ExperimentReport:
@@ -38,6 +42,7 @@ def report_sink():
 def pytest_sessionfinish(session, exitstatus):
     if not _REPORTS:
         return
+    from repro.obs import write_last_run_reports
+
     _REPORTS.sort(key=lambda r: r.experiment)
-    text = "\n\n".join(render_report(r) for r in _REPORTS) + "\n"
-    _OUTPUT.write_text(text)
+    write_last_run_reports(_REPORTS, _STORE)

@@ -15,13 +15,13 @@ from .records import ExperimentReport
 
 def format_value(v: Any) -> str:
     """Compact cell rendering: ints bare, floats to 3 significant digits,
-    NaN as '-'."""
+    NaN as '-', infinities as 'inf'/'-inf'."""
     if isinstance(v, float):
         if v != v:  # NaN
             return "-"
-        if v == int(v) and abs(v) < 1e9:
+        if abs(v) < 1e9 and v == int(v):
             return str(int(v))
-        return f"{v:.3g}"
+        return f"{v:.3g}"  # renders inf/-inf as-is
     return str(v)
 
 

@@ -15,7 +15,13 @@ Commands operate on graph files in the plain-text format of
 * ``explain``-- replay how one node learned its distance from one source;
 * ``faults``-- run an algorithm under seeded fault injection (drops,
   duplicates, delays, corruption, crashes), optionally with the
-  ack/retransmit resilience wrapper, and report what happened.
+  ack/retransmit resilience wrapper, and report what happened;
+* ``obs``   -- the observability subsystem: ``obs run`` executes an
+  algorithm with tracing/metrics/profiling attached and renders an
+  ASCII dashboard (optionally exporting the trace as JSONL), ``obs
+  bench`` persists a benchmark suite into the ``BENCH_*.json`` store
+  and can fail on regression vs a stored baseline, ``obs diff``
+  compares two stored records.
 """
 
 from __future__ import annotations
@@ -281,6 +287,78 @@ def cmd_faults(args, out) -> int:
     return 1 if wrong else 0
 
 
+def _obs_smoke_reports():
+    """The deterministic micro-suite behind ``repro obs bench --suite
+    smoke`` (and CI's benchmark smoke job): fixed-seed, small-size
+    variants of three headline sweeps.  Round counts are deterministic,
+    so identical code must produce an identical record."""
+    from .analysis import sweep as sweep_mod
+
+    return [
+        sweep_mod.sweep_theorem11_apsp(seeds=(0,), sizes=(8, 12)),
+        sweep_mod.sweep_theorem11_hk_ssp(seeds=(0,), sizes=(10,)),
+        sweep_mod.sweep_table1_exact(seeds=(0,), sizes=(8,)),
+    ]
+
+
+def cmd_obs(args, out) -> int:
+    from .obs import (BenchStore, MetricsRegistry, ProfileSession, Tracer,
+                      check_phases, render_dashboard)
+
+    if args.obs_command == "run":
+        g = gio.load(args.graph)
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        profile = ProfileSession(cprofile=args.cprofile) \
+            if (args.profile or args.cprofile) else None
+        sources = [int(s) for s in args.sources.split(",")] \
+            if args.sources else None
+
+        def execute():
+            if sources is None:
+                return api_apsp(g, method=args.method, tracer=tracer,
+                                registry=registry)
+            return api_kssp(g, sources, method=args.method, tracer=tracer,
+                            registry=registry)
+
+        if profile is not None:
+            with profile:
+                res = execute()
+        else:
+            res = execute()
+        out.write(render_dashboard(tracer=tracer, registry=registry,
+                                   metrics=res.metrics, profile=profile)
+                  + "\n")
+        if args.cprofile and profile is not None:
+            out.write(profile.stats_text() + "\n")
+        if args.export_trace:
+            nrec = tracer.export_jsonl(args.export_trace)
+            out.write(f"wrote {nrec} trace records to {args.export_trace}\n")
+        ok, _, _ = check_phases(tracer, res.metrics)
+        return 0 if ok else 1
+
+    if args.obs_command == "bench":
+        store = BenchStore(args.store)
+        reports = _obs_smoke_reports()
+        path = store.save(args.name, reports, meta={"suite": args.suite})
+        out.write(f"wrote {path}\n")
+        if args.baseline:
+            rep = store.compare(args.baseline, args.name,
+                                tolerance=args.tolerance)
+            out.write(rep.render() + "\n")
+            return rep.exit_code
+        return 0
+
+    if args.obs_command == "diff":
+        store = BenchStore(args.store)
+        rep = store.compare(args.baseline, args.current,
+                            tolerance=args.tolerance)
+        out.write(rep.render() + "\n")
+        return rep.exit_code
+
+    raise SystemExit(f"unknown obs subcommand {args.obs_command!r}")
+
+
 def cmd_bounds(args, out) -> int:
     n, k, h = args.n, args.k if args.k else args.n, args.hops if args.hops else args.n
     delta, w = args.delta, args.w_max
@@ -393,6 +471,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="retransmission timeout in rounds")
     f.add_argument("-q", "--quiet", action="store_true")
     f.set_defaults(func=cmd_faults)
+
+    o = sub.add_parser(
+        "obs",
+        help="observability: instrumented runs, dashboard, bench store")
+    osub = o.add_subparsers(dest="obs_command", required=True)
+    orun = osub.add_parser(
+        "run", help="run an algorithm instrumented; render the dashboard")
+    orun.add_argument("graph")
+    orun.add_argument("--method", default="auto",
+                      choices=["auto", "pipelined", "blocker",
+                               "bellman-ford"])
+    orun.add_argument("--sources",
+                      help="comma-separated ids (k-SSP instead of APSP)")
+    orun.add_argument("--export-trace", metavar="PATH",
+                      help="write the trace as JSON Lines")
+    orun.add_argument("--profile", action="store_true",
+                      help="time the instrumented hot loops")
+    orun.add_argument("--cprofile", action="store_true",
+                      help="full cProfile capture (slow; implies --profile)")
+    orun.set_defaults(func=cmd_obs)
+    obench = osub.add_parser(
+        "bench", help="run a benchmark suite into the BENCH_*.json store")
+    obench.add_argument("--suite", default="smoke", choices=["smoke"])
+    obench.add_argument("--store", default="benchmarks",
+                        help="store directory (holds BENCH_<name>.json)")
+    obench.add_argument("--name", default="smoke",
+                        help="record name to write")
+    obench.add_argument("--baseline",
+                        help="stored record to compare against; a "
+                             "regression makes the exit code non-zero")
+    obench.add_argument("--tolerance", type=float, default=0.1,
+                        help="relative slack before a larger measurement "
+                             "counts as a regression (default 0.1)")
+    obench.set_defaults(func=cmd_obs)
+    odiff = osub.add_parser(
+        "diff", help="compare two stored benchmark records")
+    odiff.add_argument("baseline")
+    odiff.add_argument("current")
+    odiff.add_argument("--store", default="benchmarks")
+    odiff.add_argument("--tolerance", type=float, default=0.1)
+    odiff.set_defaults(func=cmd_obs)
 
     b = sub.add_parser("bounds", help="evaluate the paper's bound formulas")
     b.add_argument("-n", type=int, required=True)

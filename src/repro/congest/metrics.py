@@ -107,25 +107,48 @@ class RunMetrics:
             return 0
         return max(self.node_sends.values())
 
+    #: How each field composes under sequential execution.  Every field
+    #: MUST appear here: ``merged_with`` iterates ``dataclasses.fields``
+    #: and raises ``KeyError`` on an unlisted one, so adding a field to
+    #: the dataclass without deciding its merge rule is a loud failure
+    #: instead of a silently dropped counter.
+    _MERGE_RULES = {
+        "rounds": "add",            # phases run one after another
+        "messages": "add",
+        "words": "add",
+        "max_message_words": "max",  # a budget/high-watermark, not a total
+        "channel_messages": "add",   # Counter + Counter: channel-wise
+        "node_sends": "add",
+        "active_rounds": "add",
+        "skipped_rounds": "add",
+        "retransmissions": "add",
+        "ack_messages": "add",
+        "faults": "add",
+    }
+
     def merged_with(self, other: "RunMetrics") -> "RunMetrics":
         """Sequential composition: the metrics of running ``self``'s
         execution followed by ``other``'s.
 
         Rounds add (the phases run one after another, as in Algorithm 3);
-        congestion counters add channel-wise.
+        congestion counters add channel-wise; high-watermarks take the
+        max.  The composition is field-complete by construction: every
+        dataclass field is merged according to ``_MERGE_RULES``.
         """
+        import dataclasses
+
         out = RunMetrics()
-        out.rounds = self.rounds + other.rounds
-        out.messages = self.messages + other.messages
-        out.words = self.words + other.words
-        out.max_message_words = max(self.max_message_words, other.max_message_words)
-        out.channel_messages = self.channel_messages + other.channel_messages
-        out.node_sends = self.node_sends + other.node_sends
-        out.active_rounds = self.active_rounds + other.active_rounds
-        out.skipped_rounds = self.skipped_rounds + other.skipped_rounds
-        out.retransmissions = self.retransmissions + other.retransmissions
-        out.ack_messages = self.ack_messages + other.ack_messages
-        out.faults = self.faults + other.faults
+        for f in dataclasses.fields(self):
+            rule = self._MERGE_RULES[f.name]  # KeyError = missing rule
+            a, b = getattr(self, f.name), getattr(other, f.name)
+            if rule == "add":
+                value = a + b
+            elif rule == "max":
+                value = max(a, b)
+            else:
+                raise ValueError(
+                    f"unknown merge rule {rule!r} for field {f.name!r}")
+            setattr(out, f.name, value)
         return out
 
     def summary(self) -> Dict[str, int]:

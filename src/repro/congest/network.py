@@ -32,6 +32,9 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional
 
+from time import perf_counter as _perf
+
+from ..obs.profiling import HOT as _HOT
 from .message import CongestionError, Envelope, MessageSizeError
 from .metrics import RunMetrics
 from .node import NodeContext, Program
@@ -84,6 +87,19 @@ class Network:
         object with ``after_round(network, r, touched)``), called after
         each executed round's receive phase with the ids of the nodes
         that sent or received.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`: the network emits a
+        ``net.send`` event per enforced message and a ``net.round``
+        summary event per executed round, and the fault injector (when
+        present) reports every injected fault as a ``fault`` event.
+        ``None`` (the default) keeps the untraced path.
+    registry:
+        Optional :class:`~repro.obs.MetricsRegistry`: per-round
+        wall-clock is observed into the ``congest.round_wall_s``
+        histogram and the accumulated :class:`RunMetrics` is mirrored
+        into ``congest.*`` instruments when ``run`` finishes (also on
+        failure), idempotently -- see
+        :func:`repro.obs.registry.publish_run_metrics`.
     record_window:
         When > 0, keep the last this-many rounds of per-node send and
         receive events in ``self.trace`` (a bounded
@@ -98,6 +114,8 @@ class Network:
                  channel_capacity: int = 1,
                  fault_plan: Any = None,
                  monitor: Any = None,
+                 tracer: Any = None,
+                 registry: Any = None,
                  record_window: int = 0) -> None:
         n = getattr(graph, "n", None)
         if not isinstance(n, int) or n < 1:
@@ -122,8 +140,12 @@ class Network:
         self.max_message_words = max_message_words
         self.channel_capacity = channel_capacity
         self.monitor = monitor
+        self.tracer = tracer
+        self.registry = registry
         self.record_window = record_window
         self.fault_injector = self._make_injector(fault_plan)
+        if self.fault_injector is not None and tracer is not None:
+            self.fault_injector.tracer = tracer
         self.trace = None
         if record_window > 0:
             from .events import RingTraceRecorder
@@ -142,6 +164,8 @@ class Network:
         self._started = False
         #: Last processed round; ``run`` resumes from here (see its doc).
         self._round = 0
+        #: publish_run_metrics state (delta accounting across resumes).
+        self._published = None
 
     @staticmethod
     def _make_injector(fault_plan: Any):
@@ -192,6 +216,11 @@ class Network:
         n = self.n
         programs, contexts = self.programs, self.contexts
         injector, monitor, recorder = self.fault_injector, self.monitor, self.trace
+        tracer, registry = self.tracer, self.registry
+        profile = _HOT.session
+        timed = registry is not None or profile is not None
+        round_hist = None if registry is None else registry.histogram(
+            "congest.round_wall_s", scale=1e-6)
         if not self._started:
             for v in range(n):
                 programs[v].on_start(contexts[v])
@@ -226,6 +255,8 @@ class Network:
                     metrics.skipped_rounds += r - prev_r - 1
                 prev_r = r
                 self._round = r
+                if timed:
+                    t_round = _perf()
 
                 # --- send phase -------------------------------------------
                 envelopes: List[Envelope] = []
@@ -261,6 +292,8 @@ class Network:
                     metrics.record_message(env.src, env.dst, env.words)
                     if recorder is not None:
                         recorder.emit(r, env.src, "send", env.dst, env.payload)
+                    if tracer is not None:
+                        tracer.emit(r, env.src, "net.send", env.dst, env.words)
                     if injector is None:
                         inboxes.setdefault(env.dst, []).append(env)
                     else:
@@ -295,6 +328,16 @@ class Network:
                 for v in touched:
                     next_round[v] = programs[v].next_active_round(contexts[v], r)
 
+                if tracer is not None:
+                    tracer.emit(r, -1, "net.round", len(senders),
+                                len(receivers))
+                if timed:
+                    dt = _perf() - t_round
+                    if round_hist is not None:
+                        round_hist.observe(dt)
+                    if profile is not None:
+                        profile.record("network.round", dt)
+
                 if monitor is not None and touched:
                     try:
                         monitor.after_round(self, r, touched)
@@ -311,6 +354,13 @@ class Network:
         finally:
             if injector is not None:
                 metrics.set_fault_stats(injector.stats.as_dict())
+            if registry is not None:
+                # Mirror even on failure (the dashboard should show what
+                # a crashed run did get done); delta-based, so resumes
+                # and re-publishes cannot double-count.
+                from ..obs.registry import publish_run_metrics
+                self._published = publish_run_metrics(
+                    registry, metrics, state=self._published)
 
         return metrics
 

@@ -30,8 +30,10 @@ semantics).
 
 from __future__ import annotations
 
+from time import perf_counter as _perf
 from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
+from ..obs.profiling import HOT as _HOT
 from .message import Envelope, payload_words
 
 
@@ -112,6 +114,8 @@ class NodeContext:
         if not self._sending:
             raise RuntimeError(
                 "send_many() may only be called from within Program.on_send")
+        prof = _HOT.session
+        t0 = _perf() if prof is not None else 0.0
         words = None
         append = self._outbox.append
         src, rnd = self.node, self._round
@@ -125,6 +129,8 @@ class NodeContext:
                 words = payload_words(payload)
             append(Envelope(src=src, dst=dst, round=rnd,
                             payload=payload, words=words))
+        if prof is not None:
+            prof.record("node.send_many", _perf() - t0)
 
     def broadcast(self, payload: Any) -> None:
         """Send *payload* to every communication neighbour (the paper's

@@ -41,7 +41,9 @@ def _estimate_bounds(graph: WeightedDigraph, k: int) -> Dict[str, float]:
 
 
 def apsp(graph: WeightedDigraph, *, method: str = "auto",
-         delta: Optional[int] = None, h: Optional[int] = None) -> APSPResult:
+         delta: Optional[int] = None, h: Optional[int] = None,
+         tracer: Optional[object] = None,
+         registry: Optional[object] = None) -> APSPResult:
     """Exact all-pairs shortest paths.
 
     method:
@@ -50,33 +52,43 @@ def apsp(graph: WeightedDigraph, *, method: str = "auto",
       * ``"blocker"`` -- Algorithm 3 (Theorems I.2/I.3);
       * ``"bellman-ford"`` -- the sequential-per-source baseline;
       * ``"auto"`` -- smallest a-priori bound given only ``W``.
+
+    ``tracer`` / ``registry`` (:class:`repro.obs.Tracer` /
+    :class:`repro.obs.MetricsRegistry`) attach the observability
+    subsystem to whichever algorithm runs.
     """
     if method == "auto":
         est = _estimate_bounds(graph, graph.n)
         method = min(est, key=est.get)  # type: ignore[arg-type]
     if method == "pipelined":
-        return run_apsp(graph, delta)
+        return run_apsp(graph, delta, tracer=tracer, registry=registry)
     if method == "blocker":
-        return run_apsp_blocker(graph, h, delta=delta)
+        return run_apsp_blocker(graph, h, delta=delta, tracer=tracer,
+                                registry=registry)
     if method == "bellman-ford":
-        return run_bellman_ford_apsp(graph)
+        return run_bellman_ford_apsp(graph, tracer=tracer, registry=registry)
     raise ValueError(f"unknown APSP method {method!r}")
 
 
 def k_ssp(graph: WeightedDigraph, sources: Sequence[int], *,
           method: str = "auto", delta: Optional[int] = None,
-          h: Optional[int] = None) -> APSPResult:
+          h: Optional[int] = None,
+          tracer: Optional[object] = None,
+          registry: Optional[object] = None) -> APSPResult:
     """Exact shortest paths from ``k`` given sources (Theorem I.1(iii) /
     I.2(ii) / I.3(ii)); same methods as :func:`apsp`."""
     if method == "auto":
         est = _estimate_bounds(graph, len(set(sources)))
         method = min(est, key=est.get)  # type: ignore[arg-type]
     if method == "pipelined":
-        return run_k_ssp(graph, sources, delta)
+        return run_k_ssp(graph, sources, delta, tracer=tracer,
+                         registry=registry)
     if method == "blocker":
-        return run_kssp_blocker(graph, sources, h, delta=delta)
+        return run_kssp_blocker(graph, sources, h, delta=delta,
+                                tracer=tracer, registry=registry)
     if method == "bellman-ford":
-        return run_bellman_ford_kssp(graph, sources)
+        return run_bellman_ford_kssp(graph, sources, tracer=tracer,
+                                     registry=registry)
     raise ValueError(f"unknown k-SSP method {method!r}")
 
 

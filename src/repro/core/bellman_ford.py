@@ -98,6 +98,8 @@ def run_bellman_ford(graph: WeightedDigraph, source: int, *,
                      fault_plan: Optional[object] = None,
                      resilient: bool = False,
                      monitor: Optional[object] = None,
+                     tracer: Optional[object] = None,
+                     registry: Optional[object] = None,
                      timeout: int = 4,
                      max_rounds: Optional[int] = None
                      ) -> BellmanFordResult:
@@ -129,15 +131,26 @@ def run_bellman_ford(graph: WeightedDigraph, source: int, *,
             max_rounds = (max_hops or graph.n) + 2
     factory = lambda v: BellmanFordProgram(
         v, source, max_hops=max_hops, initial=initial.get(v))
-    if resilient:
-        from ..faults.resilient import run_resilient
-        outs, metrics, _ = run_resilient(
-            graph, factory, max_rounds, timeout=timeout,
-            fault_plan=fault_plan, monitor=monitor)
-    else:
-        net = Network(graph, factory, fault_plan=fault_plan, monitor=monitor)
-        metrics = net.run(max_rounds=max_rounds)
-        outs = net.outputs()
+    from contextlib import nullcontext
+    cm = tracer.span("bellman-ford", source=source) if tracer is not None \
+        else nullcontext(None)
+    with cm as sp:
+        if resilient:
+            from ..faults.resilient import run_resilient
+            outs, metrics, _ = run_resilient(
+                graph, factory, max_rounds, timeout=timeout,
+                fault_plan=fault_plan, monitor=monitor)
+            if registry is not None:
+                # run_resilient owns its Network; mirror the result here.
+                from ..obs.registry import publish_run_metrics
+                publish_run_metrics(registry, metrics)
+        else:
+            net = Network(graph, factory, fault_plan=fault_plan,
+                          monitor=monitor, tracer=tracer, registry=registry)
+            metrics = net.run(max_rounds=max_rounds)
+            outs = net.outputs()
+        if sp is not None:
+            sp.set(rounds=metrics.rounds)
     dist: List[float] = [INF] * graph.n
     hops: List[float] = [INF] * graph.n
     parent: List[Optional[int]] = [None] * graph.n
@@ -156,25 +169,43 @@ class BellmanFordKSSPResult:
 
 
 def run_bellman_ford_kssp(graph: WeightedDigraph, sources: Sequence[int],
-                          *, max_hops: Optional[int] = None
+                          *, max_hops: Optional[int] = None,
+                          tracer: Optional[object] = None,
+                          registry: Optional[object] = None
                           ) -> BellmanFordKSSPResult:
     """Sequential per-source Bellman-Ford: the Table I baseline.
-    Total rounds = sum of the per-source convergence rounds."""
+    Total rounds = sum of the per-source convergence rounds.
+
+    With a ``tracer`` the whole baseline runs under one
+    ``bellman-ford-kssp`` span with a child span per source; a
+    ``registry`` accumulates every per-source run (delta-published, so
+    the registry view equals the merged metrics)."""
+    from contextlib import nullcontext
+
     srcs = tuple(dict.fromkeys(sources))
     dist: Dict[int, List[float]] = {}
     parent: Dict[int, List[Optional[int]]] = {}
     metrics = None
-    for s in srcs:
-        res = run_bellman_ford(graph, s, max_hops=max_hops)
-        dist[s] = res.dist
-        parent[s] = res.parent
-        metrics = res.metrics if metrics is None else merge_sequential(metrics, res.metrics)
+    cm = tracer.span("bellman-ford-kssp", k=len(srcs)) \
+        if tracer is not None else nullcontext(None)
+    with cm as sp:
+        for s in srcs:
+            res = run_bellman_ford(graph, s, max_hops=max_hops,
+                                   tracer=tracer, registry=registry)
+            dist[s] = res.dist
+            parent[s] = res.parent
+            metrics = res.metrics if metrics is None else merge_sequential(metrics, res.metrics)
+        if sp is not None:
+            sp.set(rounds=(metrics or RunMetrics()).rounds)
     return BellmanFordKSSPResult(sources=srcs, dist=dist, parent=parent,
                                  metrics=metrics or RunMetrics())
 
 
 def run_bellman_ford_apsp(graph: WeightedDigraph,
-                          *, max_hops: Optional[int] = None
+                          *, max_hops: Optional[int] = None,
+                          tracer: Optional[object] = None,
+                          registry: Optional[object] = None
                           ) -> BellmanFordKSSPResult:
     """All-sources sequential Bellman-Ford (the O(n * SPD) baseline)."""
-    return run_bellman_ford_kssp(graph, range(graph.n), max_hops=max_hops)
+    return run_bellman_ford_kssp(graph, range(graph.n), max_hops=max_hops,
+                                 tracer=tracer, registry=registry)

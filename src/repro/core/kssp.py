@@ -78,7 +78,9 @@ def run_kssp_blocker(graph: WeightedDigraph, sources: Sequence[int],
                      h: Optional[int] = None, *,
                      delta: Optional[int] = None,
                      concurrent_sssp: bool = False,
-                     keep_structures: bool = False) -> KSSPResult:
+                     keep_structures: bool = False,
+                     tracer: Optional[object] = None,
+                     registry: Optional[object] = None) -> KSSPResult:
     """Run Algorithm 3 for *sources* with hop parameter *h*.
 
     ``h`` defaults to the Theorem I.2 choice based on the graph's maximum
@@ -92,7 +94,18 @@ def run_kssp_blocker(graph: WeightedDigraph, sources: Sequence[int],
     costs roughly ``max dilation + total congestion`` instead of the
     sum of dilations.  An extension beyond the paper (which leaves
     improving these steps as future work in [3]); output is identical.
+
+    ``tracer`` records one top-level span per phase (csssp, blocker-set,
+    blocker-sssp, bfs-tree, broadcast), each carrying its round count --
+    the spans sum to ``metrics.rounds``, which ``repro obs`` cross-checks
+    -- plus a ``blocker.elect`` event per elected blocker node.
+    ``registry`` receives the merged end-of-run metrics mirror.
     """
+    from contextlib import nullcontext
+
+    def span(name: str, **attrs):
+        return tracer.span(name, **attrs) if tracer is not None \
+            else nullcontext(None)
     srcs = tuple(dict.fromkeys(sources))
     if not srcs:
         raise ValueError("need at least one source")
@@ -103,12 +116,20 @@ def run_kssp_blocker(graph: WeightedDigraph, sources: Sequence[int],
     h = max(1, min(h, n))
 
     # Step 1: h-hop CSSSP (Algorithm 1 with hop bound 2h).
-    coll = build_csssp(graph, srcs, h, delta)
+    with span("csssp", h=h, k=k) as sp:
+        coll = build_csssp(graph, srcs, h, delta, tracer=tracer)
+        if sp is not None:
+            sp.set(rounds=coll.metrics.rounds)
     metrics = coll.metrics
     phase_rounds = {"csssp": coll.metrics.rounds}
 
     # Step 2: blocker set.
-    blk = compute_blocker_set(graph, coll)
+    with span("blocker-set") as sp:
+        blk = compute_blocker_set(graph, coll)
+        if sp is not None:
+            sp.set(rounds=blk.metrics.rounds, q=len(blk.blockers))
+            for i, c in enumerate(blk.blockers):
+                tracer.emit(blk.metrics.rounds, c, "blocker.elect", i)
     metrics = merge_sequential(metrics, blk.metrics)
     phase_rounds["blocker_set"] = blk.metrics.rounds
     phase_rounds.update({f"blocker/{k_}": v for k_, v in blk.phase_rounds.items()})
@@ -118,42 +139,52 @@ def run_kssp_blocker(graph: WeightedDigraph, sources: Sequence[int],
     delta_cv: Dict[int, List[float]] = {}
     phase_rounds["blocker_sssp"] = 0
     parent_cv: Dict[int, List[Optional[int]]] = {}
-    if concurrent_sssp and blk.blockers:
-        from ..congest.scheduler import MultiplexedNetwork
-        from .bellman_ford import BellmanFordProgram
+    with span("blocker-sssp", q=len(blk.blockers),
+              concurrent=concurrent_sssp) as sp:
+        if concurrent_sssp and blk.blockers:
+            from ..congest.scheduler import MultiplexedNetwork
+            from .bellman_ford import BellmanFordProgram
 
-        factories = [(lambda c_: (lambda v: BellmanFordProgram(v, c_)))(c)
-                     for c in blk.blockers]
-        net = MultiplexedNetwork(graph, factories)
-        m = net.run(max_rounds=4 * n * max(1, len(blk.blockers)) + 64)
-        metrics = merge_sequential(metrics, m)
-        phase_rounds["blocker_sssp"] = m.rounds
-        for i, c in enumerate(blk.blockers):
-            outs = net.outputs(i)
-            delta_cv[c] = [out[0] for out in outs]
-            parent_cv[c] = [out[2] for out in outs]
-    else:
-        for c in blk.blockers:
-            bf = run_bellman_ford(graph, c)
-            delta_cv[c] = bf.dist
-            parent_cv[c] = bf.parent
-            metrics = merge_sequential(metrics, bf.metrics)
-            phase_rounds["blocker_sssp"] += bf.metrics.rounds
+            factories = [(lambda c_: (lambda v: BellmanFordProgram(v, c_)))(c)
+                         for c in blk.blockers]
+            net = MultiplexedNetwork(graph, factories, tracer=tracer)
+            m = net.run(max_rounds=4 * n * max(1, len(blk.blockers)) + 64)
+            metrics = merge_sequential(metrics, m)
+            phase_rounds["blocker_sssp"] = m.rounds
+            for i, c in enumerate(blk.blockers):
+                outs = net.outputs(i)
+                delta_cv[c] = [out[0] for out in outs]
+                parent_cv[c] = [out[2] for out in outs]
+        else:
+            for c in blk.blockers:
+                bf = run_bellman_ford(graph, c, tracer=tracer)
+                delta_cv[c] = bf.dist
+                parent_cv[c] = bf.parent
+                metrics = merge_sequential(metrics, bf.metrics)
+                phase_rounds["blocker_sssp"] += bf.metrics.rounds
+        if sp is not None:
+            sp.set(rounds=phase_rounds["blocker_sssp"])
 
     # Step 4: broadcast, for each c, the pairs (x, delta_T(x, c)).
-    bfs = build_bfs_tree(graph, root=0)
+    with span("bfs-tree") as sp:
+        bfs = build_bfs_tree(graph, root=0)
+        if sp is not None:
+            sp.set(rounds=bfs.metrics.rounds)
     metrics = merge_sequential(metrics, bfs.metrics)
     phase_rounds["bfs_tree"] = bfs.metrics.rounds
     phase_rounds["broadcast"] = 0
     delta_xc: Dict[int, Dict[int, float]] = {}  # c -> {x: delta_T(x, c)}
-    for c in blk.blockers:
-        values = [("bc", x, int(coll.dist[x][c]))
-                  for x in srcs if coll.contains(x, c)]
-        delta_xc[c] = {x: coll.dist[x][c] for x in srcs if coll.contains(x, c)}
-        if values:
-            _, m = pipelined_broadcast(graph, bfs, values)
-            metrics = merge_sequential(metrics, m)
-            phase_rounds["broadcast"] += m.rounds
+    with span("broadcast", q=len(blk.blockers)) as sp:
+        for c in blk.blockers:
+            values = [("bc", x, int(coll.dist[x][c]))
+                      for x in srcs if coll.contains(x, c)]
+            delta_xc[c] = {x: coll.dist[x][c] for x in srcs if coll.contains(x, c)}
+            if values:
+                _, m = pipelined_broadcast(graph, bfs, values)
+                metrics = merge_sequential(metrics, m)
+                phase_rounds["broadcast"] += m.rounds
+        if sp is not None:
+            sp.set(rounds=phase_rounds["broadcast"])
 
     # Step 5: local combine (no communication).
     dist: Dict[int, List[float]] = {}
@@ -177,6 +208,10 @@ def run_kssp_blocker(graph: WeightedDigraph, sources: Sequence[int],
             prow[v] = bp
         dist[x] = row
         parent[x] = prow
+
+    if registry is not None:
+        from ..obs.registry import publish_run_metrics
+        publish_run_metrics(registry, metrics)
 
     return KSSPResult(
         sources=srcs, h=h, dist=dist, parent=parent, metrics=metrics,

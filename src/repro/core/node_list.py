@@ -16,10 +16,12 @@ section 6); :meth:`fire_at` asserts this model constraint.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
+from time import perf_counter as _perf
 from typing import Iterator, List, Optional, Tuple
 
 from math import ceil as _ceil
 
+from ..obs.profiling import HOT as _HOT
 from .entries import Entry
 
 
@@ -166,6 +168,8 @@ class NodeList:
         Asserts the at-most-one-send property (the CONGEST 1-message
         constraint is self-enforcing for this schedule, DESIGN.md sec. 6).
         """
+        prof = _HOT.session
+        t0 = _perf() if prof is not None else 0.0
         ceil = _ceil  # profiled hot loop: avoid attribute lookups
         hit: Optional[Entry] = None
         pos = 0
@@ -176,11 +180,15 @@ class NodeList:
                     raise AssertionError(
                         f"two entries scheduled in round {r}: {hit!r} and {e!r}")
                 hit = e
+        if prof is not None:
+            prof.record("node_list.fire_at", _perf() - t0)
         return hit
 
     def next_fire_after(self, r: int) -> Optional[int]:
         """Earliest round > *r* in which some entry fires under the
         current positions, or ``None``."""
+        prof = _HOT.session
+        t0 = _perf() if prof is not None else 0.0
         ceil = _ceil
         best: Optional[int] = None
         pos = 0
@@ -189,6 +197,8 @@ class NodeList:
             rr = ceil(e.kappa + pos)
             if rr > r and (best is None or rr < best):
                 best = rr
+        if prof is not None:
+            prof.record("node_list.next_fire_after", _perf() - t0)
         return best
 
     def max_entries_any_source(self) -> int:

@@ -166,6 +166,8 @@ class PipelinedSSPProgram(Program):
                 # does not evict (the eviction clause of Insert applies to
                 # non-SP additions, which are the only ones admitted by a
                 # quota rather than by an improvement).
+                if self.trace is not None:
+                    self.trace.emit(r, self.v, "promote", x, d, l)
                 old = b.entry
                 z.flag_sp = True
                 b.d, b.l, b.parent, b.entry = d, l, y, z
@@ -278,6 +280,8 @@ def run_hk_ssp(graph: WeightedDigraph, sources: Sequence[int], h: int,
                max_rounds: Optional[int] = None,
                fault_plan: Optional[object] = None,
                monitor: Optional[object] = None,
+               tracer: Optional[object] = None,
+               registry: Optional[object] = None,
                record_window: int = 0) -> HKSSPResult:
     """Run Algorithm 1 on *graph* for the source set *sources*.
 
@@ -304,6 +308,14 @@ def run_hk_ssp(graph: WeightedDigraph, sources: Sequence[int], h: int,
         argument collapses).  Fault injection here is for *observing* the
         failure modes; attach ``monitor=InvariantMonitor(pipelined_invariants())``
         to catch the moment the schedule breaks.
+    tracer / registry:
+        Observability hooks (:class:`repro.obs.Tracer` /
+        :class:`repro.obs.MetricsRegistry`).  The run executes under a
+        ``pipelined`` span carrying ``(h, k, delta, rounds)``; the
+        tracer doubles as the program-level ``trace`` recorder (sends,
+        inserts, flag-d* promotions) unless an explicit ``trace`` is
+        given, and both hooks are forwarded to the
+        :class:`~repro.congest.network.Network`.
 
     Returns an :class:`HKSSPResult` (see its docstring for the exact
     output contract); validation against the sequential oracles is the
@@ -333,6 +345,11 @@ def run_hk_ssp(graph: WeightedDigraph, sources: Sequence[int], h: int,
         max_pos = int(k * (h / g + 1)) + k + 1
         max_rounds = int(math.ceil(max_key + max_pos)) + bound + 16
 
+    if trace is None and tracer is not None:
+        # A Tracer is a TraceRecorder: program-level emits (sends,
+        # inserts, promotions) land in its bounded ring.
+        trace = tracer  # type: ignore[assignment]
+
     programs: List[PipelinedSSPProgram] = []
 
     def factory(v: int) -> PipelinedSSPProgram:
@@ -343,8 +360,14 @@ def run_hk_ssp(graph: WeightedDigraph, sources: Sequence[int], h: int,
         return p
 
     net = Network(graph, factory, fault_plan=fault_plan, monitor=monitor,
+                  tracer=tracer, registry=registry,
                   record_window=record_window)
-    metrics = net.run(max_rounds=max_rounds)
+    if tracer is not None:
+        with tracer.span("pipelined", h=h, k=k, delta=delta) as sp:
+            metrics = net.run(max_rounds=max_rounds)
+            sp.set(rounds=metrics.rounds)
+    else:
+        metrics = net.run(max_rounds=max_rounds)
 
     dist: Dict[int, List[float]] = {x: [INF] * graph.n for x in sources}
     hops: Dict[int, List[float]] = {x: [INF] * graph.n for x in sources}

@@ -155,6 +155,8 @@ def run_short_range(graph: WeightedDigraph, source: int, h: int,
                     fault_plan: Optional[object] = None,
                     resilient: bool = False,
                     monitor: Optional[object] = None,
+                    tracer: Optional[object] = None,
+                    registry: Optional[object] = None,
                     timeout: int = 4) -> ShortRangeResult:
     """Run Algorithm 2 from *source* with hop range *h*.
 
@@ -204,15 +206,25 @@ def run_short_range(graph: WeightedDigraph, source: int, h: int,
         cutoff_round=cutoff_round,
         delay_tolerant=resilient or faulty,
     )
-    if resilient:
-        from ..faults.resilient import run_resilient
-        outs, metrics, _ = run_resilient(
-            graph, factory, max_rounds, timeout=timeout,
-            fault_plan=fault_plan, monitor=monitor)
-    else:
-        net = Network(graph, factory, fault_plan=fault_plan, monitor=monitor)
-        metrics = net.run(max_rounds=max_rounds)
-        outs = net.outputs()
+    from contextlib import nullcontext
+    cm = tracer.span("short-range", source=source, h=h) \
+        if tracer is not None else nullcontext(None)
+    with cm as sp:
+        if resilient:
+            from ..faults.resilient import run_resilient
+            outs, metrics, _ = run_resilient(
+                graph, factory, max_rounds, timeout=timeout,
+                fault_plan=fault_plan, monitor=monitor)
+            if registry is not None:
+                from ..obs.registry import publish_run_metrics
+                publish_run_metrics(registry, metrics)
+        else:
+            net = Network(graph, factory, fault_plan=fault_plan,
+                          monitor=monitor, tracer=tracer, registry=registry)
+            metrics = net.run(max_rounds=max_rounds)
+            outs = net.outputs()
+        if sp is not None:
+            sp.set(rounds=metrics.rounds)
 
     dist: List[float] = [INF] * graph.n
     hops: List[float] = [INF] * graph.n

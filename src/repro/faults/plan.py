@@ -229,8 +229,16 @@ class FaultInjector:
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
         self.stats = FaultStats()
+        #: Optional :class:`~repro.obs.Tracer`; when set (the network
+        #: wires it through), every injected fault is emitted as a
+        #: ``fault`` event ``(fault_kind, peer)`` at the affected round.
+        self.tracer: Any = None
         #: Delayed/duplicated envelopes keyed by their delivery round.
         self._in_flight: Dict[int, List[Envelope]] = {}
+
+    def _trace(self, r: int, node: int, kind: str, peer: int) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(r, node, "fault", kind, peer)
 
     # -- topology-level fault state ------------------------------------
 
@@ -274,6 +282,7 @@ class FaultInjector:
         if not changed:
             return env
         self.stats.corruptions += 1
+        self._trace(r, env.src, "corrupt", env.dst)
         return Envelope(src=env.src, dst=env.dst, round=env.round,
                         payload=payload, words=payload_words(payload))
 
@@ -288,13 +297,16 @@ class FaultInjector:
         plan = self.plan
         if self.node_down(env.src, r):
             self.stats.crash_send_drops += 1
+            self._trace(r, env.src, "crash_send_drop", env.dst)
             return []
         if self.link_down(env.src, env.dst, r):
             self.stats.link_drops += 1
+            self._trace(r, env.src, "link_drop", env.dst)
             return []
         if plan.drop_rate > 0.0 and _u01(
                 plan.seed, "drop", r, env.src, env.dst, idx) < plan.drop_rate:
             self.stats.drops += 1
+            self._trace(r, env.src, "drop", env.dst)
             return []
 
         delay = 0
@@ -304,6 +316,7 @@ class FaultInjector:
                                  idx) * plan.max_delay)
             delay = min(delay, plan.max_delay)
             self.stats.delays += 1
+            self._trace(r, env.src, "delay", env.dst)
 
         now: List[Envelope] = []
         first = self._maybe_corrupt(env, r, idx, 0)
@@ -321,11 +334,13 @@ class FaultInjector:
             copy = self._maybe_corrupt(env, r, idx, 1)
             self._in_flight.setdefault(r + dup_delay, []).append(copy)
             self.stats.duplicates += 1
+            self._trace(r, env.src, "duplicate", env.dst)
         return now
 
     def deliverable(self, env: Envelope, r: int) -> bool:
         """Receiver-side omission check at the actual delivery round."""
         if self.node_down(env.dst, r):
             self.stats.crash_recv_drops += 1
+            self._trace(r, env.dst, "crash_recv_drop", env.src)
             return False
         return True

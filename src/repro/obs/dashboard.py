@@ -1,0 +1,133 @@
+"""ASCII dashboard over a run's trace, metrics, and profile.
+
+``repro obs run`` renders this after an instrumented execution; tests
+use the small helpers (:func:`phase_rounds`, :func:`check_phases`)
+directly to assert that the per-phase round counts recorded in the trace
+agree with the authoritative :class:`~repro.congest.metrics.RunMetrics`.
+No plotting dependencies -- same philosophy as
+:mod:`repro.analysis.ascii_charts`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..analysis.ascii_charts import sparkline
+from ..analysis.tables import format_value, render_table
+from ..congest.metrics import RunMetrics
+from .profiling import ProfileSession
+from .registry import MetricsRegistry
+from .tracer import Tracer
+
+
+def phase_rounds(tracer: Tracer) -> Dict[str, int]:
+    """Per-phase round counts from the trace: every span that recorded a
+    ``rounds`` attribute, in open order (insertion-ordered dict)."""
+    out: Dict[str, int] = {}
+    for sp in tracer.spans:
+        if "rounds" in sp.attrs:
+            name = sp.name
+            i = 2
+            while name in out:  # repeated phases (e.g. per-blocker SSSP)
+                name = f"{sp.name}#{i}"
+                i += 1
+            out[name] = int(sp.attrs["rounds"])
+    return out
+
+
+def check_phases(tracer: Tracer, metrics: RunMetrics) -> Tuple[bool, int, int]:
+    """Cross-check the trace against the metrics: phases compose
+    sequentially (Algorithm 3's structure), so the sum of per-phase
+    round counts of the *top-level* spans must equal the run's total
+    rounds.  Returns ``(ok, traced_total, metrics_total)``."""
+    traced = sum(int(sp.attrs["rounds"]) for sp in tracer.spans
+                 if sp.parent_id is None and "rounds" in sp.attrs)
+    return traced == metrics.rounds, traced, metrics.rounds
+
+
+def _span_rows(tracer: Tracer) -> List[Tuple[Any, ...]]:
+    depth: Dict[int, int] = {}
+    rows: List[Tuple[Any, ...]] = []
+    for sp in tracer.spans:
+        d = 0 if sp.parent_id is None else depth.get(sp.parent_id, 0) + 1
+        depth[sp.span_id] = d
+        wall = sp.wall_seconds
+        attrs = {k: v for k, v in sp.attrs.items() if k != "rounds"}
+        rows.append((
+            "  " * d + sp.name,
+            sp.attrs.get("rounds", "-"),
+            f"{wall * 1e3:.2f}" if wall is not None else "-",
+            " ".join(f"{k}={format_value(v) if isinstance(v, (int, float)) else v}"
+                     for k, v in attrs.items()),
+        ))
+    return rows
+
+
+def render_dashboard(*, tracer: Optional[Tracer] = None,
+                     registry: Optional[MetricsRegistry] = None,
+                     metrics: Optional[RunMetrics] = None,
+                     profile: Optional[ProfileSession] = None) -> str:
+    """The full ``repro obs`` dashboard; every section is optional."""
+    parts: List[str] = []
+
+    if metrics is not None:
+        summary = metrics.summary()
+        parts.append(render_table(
+            list(summary), [tuple(summary.values())],
+            title="== run metrics =="))
+
+    if tracer is not None:
+        rows = _span_rows(tracer)
+        if rows:
+            parts.append(render_table(
+                ["phase", "rounds", "wall ms", "attrs"], rows,
+                title="== phases (trace spans) =="))
+            if metrics is not None:
+                ok, traced, total = check_phases(tracer, metrics)
+                parts.append(
+                    f"phase round counts vs RunMetrics: traced={traced} "
+                    f"total={total} -> {'MATCH' if ok else 'MISMATCH'}")
+        kinds = tracer.kind_counts()
+        if kinds:
+            parts.append(render_table(
+                ["event kind", "count"], sorted(kinds.items()),
+                title="== trace events =="))
+        if tracer.dropped:
+            parts.append(f"(ring buffer wrapped: {tracer.dropped} oldest "
+                         f"events dropped)")
+
+    if registry is not None:
+        snap = registry.snapshot()
+        if snap["counters"]:
+            counters = list(snap["counters"].items())
+            if len(counters) > 24:
+                # Per-channel counters explode on dense graphs; keep the
+                # dashboard readable and say what was elided.
+                shown = [c for c in counters if "{" not in c[0]]
+                elided = len(counters) - len(shown)
+                counters = shown + [("(labeled series elided)", elided)]
+            parts.append(render_table(
+                ["counter", "value"], counters, title="== counters =="))
+        if snap["gauges"]:
+            parts.append(render_table(
+                ["gauge", "value"], list(snap["gauges"].items()),
+                title="== gauges =="))
+        hist_rows = []
+        for key, h in snap["histograms"].items():
+            buckets = dict(h["buckets"])
+            bars = sparkline([buckets.get(i, 0)
+                              for i in range(max(buckets) + 1)]) \
+                if buckets else ""
+            hist_rows.append((key, h["count"],
+                              format_value(h["mean"]) if h["mean"] is not None else "-",
+                              format_value(h["max"]) if h["max"] is not None else "-",
+                              bars))
+        if hist_rows:
+            parts.append(render_table(
+                ["histogram", "n", "mean", "max", "log2 buckets"], hist_rows,
+                title="== histograms =="))
+
+    if profile is not None:
+        parts.append(profile.report())
+
+    return "\n\n".join(parts) if parts else "(nothing to show)"

@@ -1,0 +1,152 @@
+"""Low-overhead profiling hooks for the simulator's hot loops.
+
+Two layers, both strictly opt-in:
+
+* **Named timers** -- instrumented call sites (the profiled hot loops in
+  :mod:`repro.core.node_list` and :mod:`repro.congest.node`, the round
+  loop of :class:`~repro.congest.network.Network`) check one module
+  attribute, ``HOT.session``; when it is ``None`` (the default) the cost
+  is a single attribute test and the timed code runs exactly as before
+  -- the golden zero-overhead fixtures pin that the measured rounds and
+  messages are unchanged.  When a :class:`ProfileSession` is active they
+  record :func:`time.perf_counter` deltas into per-name
+  count/total/min/max stats.
+* **cProfile capture** -- ``ProfileSession(cprofile=True)`` additionally
+  runs the interpreter-level profiler for full call-graph attribution
+  (expensive; for offline investigation only).
+
+Usage::
+
+    from repro.obs import ProfileSession
+
+    with ProfileSession() as prof:
+        run_apsp(g)
+    print(prof.report())
+
+Sessions do not nest (the inner ``with`` raises): nested sessions would
+silently split the same wall time over two sinks and both reports would
+be wrong.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class TimerStat:
+    """Aggregated timings of one named call site."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = 0.0
+
+    def add(self, dt: float) -> None:
+        self.count += 1
+        self.total += dt
+        if dt < self.min:
+            self.min = dt
+        if dt > self.max:
+            self.max = dt
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _Hot:
+    """Mutable holder so hot paths can test one attribute on a module
+    singleton (same cost as the repo's ``if self.trace is not None``
+    idiom) instead of paying a function call when profiling is off."""
+
+    __slots__ = ("session",)
+
+    def __init__(self) -> None:
+        self.session: Optional["ProfileSession"] = None
+
+
+#: The module singleton every instrumented call site checks.
+HOT = _Hot()
+
+
+class ProfileSession:
+    """Collects named-timer stats (and optionally a cProfile capture)
+    while active.  Re-entrant use is a bug and raises."""
+
+    def __init__(self, *, cprofile: bool = False) -> None:
+        self.timers: Dict[str, TimerStat] = {}
+        self.cprofile_enabled = cprofile
+        self._cprofile: Any = None
+        self.t0: Optional[float] = None
+        self.t1: Optional[float] = None
+
+    # -- activation ------------------------------------------------------
+
+    def __enter__(self) -> "ProfileSession":
+        if HOT.session is not None:
+            raise RuntimeError(
+                "a ProfileSession is already active; profiling sessions "
+                "do not nest (the inner session would steal the outer's "
+                "samples)")
+        HOT.session = self
+        self.t0 = time.perf_counter()
+        if self.cprofile_enabled:
+            import cProfile
+            self._cprofile = cProfile.Profile()
+            self._cprofile.enable()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._cprofile is not None:
+            self._cprofile.disable()
+        self.t1 = time.perf_counter()
+        HOT.session = None
+
+    # -- recording -------------------------------------------------------
+
+    def record(self, name: str, dt: float) -> None:
+        stat = self.timers.get(name)
+        if stat is None:
+            stat = self.timers[name] = TimerStat(name)
+        stat.add(dt)
+
+    @property
+    def wall_seconds(self) -> Optional[float]:
+        if self.t0 is None:
+            return None
+        return (self.t1 if self.t1 is not None else time.perf_counter()) - self.t0
+
+    # -- reporting -------------------------------------------------------
+
+    def rows(self) -> List[TimerStat]:
+        """Timer stats, largest total first."""
+        return sorted(self.timers.values(), key=lambda s: -s.total)
+
+    def report(self) -> str:
+        """ASCII table of the named timers."""
+        from ..analysis.tables import render_table
+
+        rows = [(s.name, s.count, f"{s.total * 1e3:.3f}",
+                 f"{s.mean * 1e6:.2f}", f"{s.max * 1e6:.2f}")
+                for s in self.rows()]
+        if not rows:
+            return "(no timer samples recorded)"
+        return render_table(
+            ["timer", "calls", "total ms", "mean us", "max us"], rows,
+            title="== profile: named timers ==")
+
+    def stats_text(self, *, sort: str = "cumulative", limit: int = 25) -> str:
+        """The cProfile capture as pstats text ('' if not enabled)."""
+        if self._cprofile is None:
+            return ""
+        import io
+        import pstats
+
+        buf = io.StringIO()
+        pstats.Stats(self._cprofile, stream=buf).sort_stats(sort)\
+            .print_stats(limit)
+        return buf.getvalue()

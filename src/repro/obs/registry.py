@@ -1,0 +1,287 @@
+"""Named counters, gauges, and histograms for the simulator core.
+
+The registry is the *pull* side of the observability subsystem: the
+simulator (:class:`~repro.congest.network.Network`, the multiplexing
+scheduler, the ``run_*`` entry points) publishes named instruments into
+a :class:`MetricsRegistry`, and consumers (the ``repro obs`` dashboard,
+tests, external scrapers) read one coherent snapshot.
+
+Instrument kinds:
+
+* :class:`Counter` -- monotone totals (messages delivered, faults
+  injected).  ``labels`` distinguish streams under one name, e.g.
+  ``reg.counter("congest.channel_messages", src=0, dst=3)``.
+* :class:`Gauge` -- last-value instruments (current round, queue depth).
+* :class:`Histogram` -- distribution sketches with power-of-two buckets
+  plus exact count/sum/min/max (wall-clock per simulated round, queue
+  depths over time).  Bounded memory, no reservoir.
+
+``RunMetrics`` as a view.  When a registry is attached to a network the
+run's :class:`~repro.congest.metrics.RunMetrics` is mirrored instrument
+by instrument (see :func:`publish_run_metrics`), and
+:func:`run_metrics_view` reconstructs an equal ``RunMetrics`` *purely
+from the registry* -- the flat struct is then just one view over the
+registry's contents (``tests/test_obs_registry.py`` pins the round-trip).
+Publishing is delta-based (each publisher adds only what changed since
+its previous publish), so re-publishing after a resumed ``run()`` cannot
+double-count, and sequential phases sharing one registry accumulate
+exactly like :func:`~repro.congest.metrics.merge_sequential`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _TallyCounter
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..congest.metrics import RunMetrics
+
+LabelKey = Tuple[Tuple[str, Any], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+@dataclass
+class Counter:
+    """A monotone total.  ``set_total`` exists for mirroring an external
+    cumulative quantity (e.g. a ``RunMetrics`` field) idempotently; it
+    refuses to go backwards, preserving monotonicity."""
+
+    name: str
+    labels: LabelKey = ()
+    value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease "
+                             f"(inc by {amount})")
+        self.value += amount
+
+    def set_total(self, total: float) -> None:
+        if total < self.value:
+            raise ValueError(
+                f"counter {self.name}{dict(self.labels) or ''} cannot go "
+                f"backwards: {self.value} -> {total}")
+        self.value = total
+
+
+@dataclass
+class Gauge:
+    """A last-written value."""
+
+    name: str
+    labels: LabelKey = ()
+    value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def max(self, value: float) -> None:
+        if value > self.value:
+            self.value = value
+
+
+@dataclass
+class Histogram:
+    """A power-of-two-bucket distribution sketch.
+
+    Bucket ``i`` counts observations in ``(2**(i-1) * scale, 2**i *
+    scale]`` (bucket 0: ``<= scale``).  ``scale`` adapts nothing -- pick
+    it per instrument (1.0 for round counts, 1e-6 for second-resolution
+    timings so microseconds land in low buckets).
+    """
+
+    name: str
+    labels: LabelKey = ()
+    scale: float = 1.0
+    count: int = 0
+    total: float = 0.0
+    min: Optional[float] = None
+    max: Optional[float] = None
+    buckets: List[int] = field(default_factory=lambda: [0] * 32)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        x = value / self.scale
+        i = 0
+        while x > 1 and i < len(self.buckets) - 1:
+            x /= 2.0
+            i += 1
+        self.buckets[i] += 1
+
+    @property
+    def mean(self) -> Optional[float]:
+        return None if self.count == 0 else self.total / self.count
+
+    def nonzero_buckets(self) -> List[Tuple[int, int]]:
+        return [(i, c) for i, c in enumerate(self.buckets) if c]
+
+
+class MetricsRegistry:
+    """Instrument namespace: create-on-first-use named instruments.
+
+    One registry per logical run (or per benchmark sweep); merging
+    across runs is the :class:`~repro.obs.store.BenchStore`'s job, not
+    the registry's.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    # -- instrument factories -------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter(name, key[1])
+        return inst
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge(name, key[1])
+        return inst
+
+    def histogram(self, name: str, *, scale: float = 1.0,
+                  **labels: Any) -> Histogram:
+        key = (name, _label_key(labels))
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram(name, key[1], scale)
+        return inst
+
+    # -- queries ---------------------------------------------------------
+
+    def counters(self, name: Optional[str] = None) -> Iterator[Counter]:
+        for (n, _), inst in sorted(self._counters.items()):
+            if name is None or n == name:
+                yield inst
+
+    def gauges(self, name: Optional[str] = None) -> Iterator[Gauge]:
+        for (n, _), inst in sorted(self._gauges.items()):
+            if name is None or n == name:
+                yield inst
+
+    def histograms(self, name: Optional[str] = None) -> Iterator[Histogram]:
+        for (n, _), inst in sorted(self._histograms.items()):
+            if name is None or n == name:
+                yield inst
+
+    def counter_total(self, name: str) -> float:
+        """Sum over every label combination of *name*."""
+        return sum(c.value for c in self.counters(name))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-dict view of everything (stable key order), the shape
+        the dashboard and the JSON exports consume."""
+        def key_of(name: str, labels: LabelKey) -> str:
+            if not labels:
+                return name
+            inner = ",".join(f"{k}={v}" for k, v in labels)
+            return f"{name}{{{inner}}}"
+
+        out: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for (n, lk), c in sorted(self._counters.items(), key=lambda kv: str(kv[0])):
+            out["counters"][key_of(n, lk)] = c.value
+        for (n, lk), g in sorted(self._gauges.items(), key=lambda kv: str(kv[0])):
+            out["gauges"][key_of(n, lk)] = g.value
+        for (n, lk), h in sorted(self._histograms.items(), key=lambda kv: str(kv[0])):
+            out["histograms"][key_of(n, lk)] = {
+                "count": h.count, "total": h.total,
+                "min": h.min, "max": h.max, "mean": h.mean,
+                "buckets": h.nonzero_buckets(),
+            }
+        return out
+
+
+# ---------------------------------------------------------------------------
+# RunMetrics <-> registry bridging
+# ---------------------------------------------------------------------------
+
+#: Scalar RunMetrics fields mirrored as counters (monotone totals).
+_COUNTER_FIELDS = ("rounds", "messages", "words", "active_rounds",
+                   "skipped_rounds", "retransmissions", "ack_messages")
+
+
+PublishState = Dict[Any, float]
+
+
+def publish_run_metrics(registry: MetricsRegistry, metrics: RunMetrics,
+                        *, prefix: str = "congest",
+                        state: Optional[PublishState] = None) -> PublishState:
+    """Mirror a :class:`RunMetrics` into *registry* instruments.
+
+    *state* is what a previous call for the **same** metrics object
+    returned; only the delta since then is added, which makes publishing
+    both idempotent (re-publishing unchanged metrics adds zero -- a
+    resumed ``Network.run`` cannot double-count) and composable
+    (sequential phases sharing one registry accumulate exactly like
+    :func:`~repro.congest.metrics.merge_sequential`: additive fields
+    add, ``max_message_words`` takes the running max via a gauge).
+    Channel/node tallies become labeled counters; fault tallies become
+    ``<prefix>.faults``-labeled counters.  Returns the new state to
+    pass next time.
+    """
+    prev: PublishState = state or {}
+    new: PublishState = {}
+    for name in _COUNTER_FIELDS:
+        value = getattr(metrics, name)
+        registry.counter(f"{prefix}.{name}").inc(value - prev.get(name, 0))
+        new[name] = value
+    registry.gauge(f"{prefix}.max_message_words").max(metrics.max_message_words)
+    for (src, dst), count in metrics.channel_messages.items():
+        key = ("channel", src, dst)
+        registry.counter(f"{prefix}.channel_messages",
+                         src=src, dst=dst).inc(count - prev.get(key, 0))
+        new[key] = count
+    for node, count in metrics.node_sends.items():
+        key = ("node", node)
+        registry.counter(f"{prefix}.node_sends",
+                         node=node).inc(count - prev.get(key, 0))
+        new[key] = count
+    for kind, count in metrics.faults.items():
+        key = ("fault", kind)
+        registry.counter(f"{prefix}.faults",
+                         kind=kind).inc(count - prev.get(key, 0))
+        new[key] = count
+    return new
+
+
+def run_metrics_view(registry: MetricsRegistry,
+                     *, prefix: str = "congest") -> RunMetrics:
+    """Reconstruct a :class:`RunMetrics` purely from registry contents.
+
+    The inverse of :func:`publish_run_metrics`: for any published run,
+    ``run_metrics_view(reg).summary() == metrics.summary()`` -- the flat
+    struct is a *view* over the registry, not a second source of truth.
+    """
+    m = RunMetrics()
+    for name in _COUNTER_FIELDS:
+        setattr(m, name, int(registry.counter(f"{prefix}.{name}").value))
+    m.max_message_words = int(
+        registry.gauge(f"{prefix}.max_message_words").value)
+    channel: _TallyCounter = _TallyCounter()
+    for c in registry.counters(f"{prefix}.channel_messages"):
+        labels = dict(c.labels)
+        channel[(labels["src"], labels["dst"])] = int(c.value)
+    m.channel_messages = channel
+    sends: _TallyCounter = _TallyCounter()
+    for c in registry.counters(f"{prefix}.node_sends"):
+        sends[dict(c.labels)["node"]] = int(c.value)
+    m.node_sends = sends
+    faults: _TallyCounter = _TallyCounter()
+    for c in registry.counters(f"{prefix}.faults"):
+        faults[dict(c.labels)["kind"]] = int(c.value)
+    m.faults = faults
+    return m

@@ -55,7 +55,7 @@ class TestTutorialCode:
 class TestDocFilesExist:
     @pytest.mark.parametrize("name", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md", "NOTATION.md",
-        "docs/TUTORIAL.md", "docs/ALGORITHM.md",
+        "docs/TUTORIAL.md", "docs/ALGORITHM.md", "docs/OBSERVABILITY.md",
     ])
     def test_present_and_nonempty(self, name):
         path = ROOT / name

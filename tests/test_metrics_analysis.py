@@ -43,6 +43,53 @@ class TestRunMetrics:
         a.rounds = 3
         assert merge_sequential(None, a, None).rounds == 3
 
+    def test_merge_rules_cover_every_field(self):
+        """The merge is schema-driven: every dataclass field must have a
+        rule, so adding a field without deciding how it composes fails
+        loudly instead of silently dropping a counter."""
+        import dataclasses
+
+        field_names = {f.name for f in dataclasses.fields(RunMetrics)}
+        assert set(RunMetrics._MERGE_RULES) == field_names
+        assert set(RunMetrics._MERGE_RULES.values()) <= {"add", "max"}
+
+    def test_merge_is_field_complete(self):
+        """Every field -- including the resilience and fault tallies the
+        pre-schema merge could have forgotten -- composes correctly."""
+        a = RunMetrics()
+        a.rounds, a.active_rounds, a.skipped_rounds = 5, 4, 1
+        a.retransmissions, a.ack_messages = 2, 3
+        a.record_message(0, 1, 6)
+        a.node_sends[0] += 1
+        a.set_fault_stats({"drop": 2, "delay": 1})
+        b = RunMetrics()
+        b.rounds, b.active_rounds = 7, 7
+        b.retransmissions, b.ack_messages = 10, 20
+        b.record_message(0, 1, 2)
+        b.record_message(1, 0, 3)
+        b.node_sends[0] += 1
+        b.node_sends[1] += 1
+        b.set_fault_stats({"drop": 5})
+        c = merge_sequential(a, b)
+        assert (c.rounds, c.active_rounds, c.skipped_rounds) == (12, 11, 1)
+        assert (c.retransmissions, c.ack_messages) == (12, 23)
+        assert c.max_message_words == 6  # high-watermark: max, not sum
+        assert c.channel_messages == {(0, 1): 2, (1, 0): 1}
+        assert c.node_sends == {0: 2, 1: 1}
+        assert c.faults == {"drop": 7, "delay": 1}
+        # merging never mutates the inputs
+        assert a.rounds == 5 and b.faults == {"drop": 5}
+
+    def test_merge_rejects_unknown_rule_loudly(self):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Broken(RunMetrics):
+            extra_field: int = 0
+
+        with pytest.raises(KeyError):
+            Broken().merged_with(Broken())
+
     def test_empty_metrics(self):
         m = RunMetrics()
         assert m.max_channel_congestion == 0

@@ -1,0 +1,134 @@
+"""Tests for repro.obs.registry: instruments, the RunMetrics mirror,
+and delta-based publishing across sequential phases."""
+
+import pytest
+
+from repro.congest import Network, RunMetrics, merge_sequential
+from repro.graphs import random_graph
+from repro.obs import MetricsRegistry, publish_run_metrics, run_metrics_view
+from repro.obs.registry import Counter, Gauge, Histogram
+
+
+class TestInstruments:
+    def test_counter_monotone(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        c.set_total(9)
+        with pytest.raises(ValueError):
+            c.set_total(8)
+
+    def test_gauge_set_and_max(self):
+        g = Gauge("x")
+        g.set(5)
+        g.max(3)
+        assert g.value == 5
+        g.max(8)
+        assert g.value == 8
+
+    def test_histogram_buckets(self):
+        h = Histogram("x")
+        h.observe(1)    # <= scale -> bucket 0
+        h.observe(3)    # (2, 4]   -> bucket 2
+        h.observe(3)
+        assert h.count == 3 and h.total == 7
+        assert (h.min, h.max) == (1, 3)
+        assert h.mean == pytest.approx(7 / 3)
+        assert h.nonzero_buckets() == [(0, 1), (2, 2)]
+
+    def test_histogram_scale(self):
+        h = Histogram("t", scale=1e-6)
+        h.observe(3e-6)  # 3 microseconds -> bucket 2, same as observe(3)/scale 1
+        assert h.nonzero_buckets() == [(2, 1)]
+
+    def test_labels_distinguish_streams(self):
+        reg = MetricsRegistry()
+        reg.counter("sends", node=0).inc(2)
+        reg.counter("sends", node=1).inc(3)
+        assert reg.counter("sends", node=0).value == 2
+        assert reg.counter_total("sends") == 5
+        snap = reg.snapshot()
+        assert snap["counters"] == {"sends{node=0}": 2, "sends{node=1}": 3}
+
+    def test_create_on_first_use_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+
+def _metrics(rounds, *, msgs=(), faults=None):
+    m = RunMetrics()
+    m.rounds = rounds
+    m.active_rounds = rounds
+    for (src, dst, words) in msgs:
+        m.record_message(src, dst, words)
+        m.node_sends[src] += 1
+    if faults:
+        m.set_fault_stats(faults)
+    return m
+
+
+class TestPublish:
+    def test_round_trip_view(self):
+        m = _metrics(7, msgs=[(0, 1, 3), (0, 1, 2), (2, 0, 5)],
+                     faults={"drop": 2})
+        m.retransmissions = 4
+        m.ack_messages = 6
+        m.skipped_rounds = 1
+        reg = MetricsRegistry()
+        publish_run_metrics(reg, m)
+        view = run_metrics_view(reg)
+        assert view == m
+
+    def test_republish_is_idempotent(self):
+        """Re-publishing the same metrics with the returned state adds
+        zero -- a resumed Network.run cannot double-count."""
+        m = _metrics(5, msgs=[(0, 1, 2)])
+        reg = MetricsRegistry()
+        state = publish_run_metrics(reg, m)
+        publish_run_metrics(reg, m, state=state)
+        assert run_metrics_view(reg) == m
+
+    def test_growing_metrics_publish_delta_only(self):
+        m = _metrics(5, msgs=[(0, 1, 2)])
+        reg = MetricsRegistry()
+        state = publish_run_metrics(reg, m)
+        m.rounds = 9
+        m.record_message(0, 1, 4)
+        publish_run_metrics(reg, m, state=state)
+        assert run_metrics_view(reg) == m
+
+    def test_sequential_phases_accumulate_like_merge(self):
+        """Two phases publishing fresh metrics into one shared registry
+        must read back as their merge_sequential."""
+        a = _metrics(5, msgs=[(0, 1, 2), (1, 2, 7)], faults={"drop": 1})
+        b = _metrics(3, msgs=[(0, 1, 4)], faults={"delay": 2})
+        reg = MetricsRegistry()
+        publish_run_metrics(reg, a)  # independent publishers: no shared state
+        publish_run_metrics(reg, b)
+        assert run_metrics_view(reg) == merge_sequential(a, b)
+
+    def test_prefix_isolation(self):
+        a, b = _metrics(4), _metrics(6)
+        reg = MetricsRegistry()
+        publish_run_metrics(reg, a, prefix="congest")
+        publish_run_metrics(reg, b, prefix="mux")
+        assert run_metrics_view(reg, prefix="congest").rounds == 4
+        assert run_metrics_view(reg, prefix="mux").rounds == 6
+
+
+class TestNetworkPublishes:
+    def test_network_run_mirrors_into_registry(self):
+        from repro.core.bellman_ford import BellmanFordProgram
+
+        g = random_graph(10, p=0.3, w_max=5, seed=3)
+        reg = MetricsRegistry()
+        net = Network(g, lambda v: BellmanFordProgram(v, 0), registry=reg)
+        m = net.run(max_rounds=60)
+        assert run_metrics_view(reg) == m
+        # the per-round wall-clock histogram saw every active round
+        [hist] = reg.histograms("congest.round_wall_s")
+        assert hist.count == m.active_rounds

@@ -155,3 +155,103 @@ class TestMultiplexerEdgeCases:
         net = MultiplexedNetwork(path_graph(2), [lambda v: Bloater()])
         with pytest.raises(ValueError, match="oversized"):
             net.run(max_rounds=10)
+
+
+class _CountingMonitor:
+    """Duck-typed invariant monitor: records every after_round call and
+    pokes the per-instance view the way InvariantMonitor's extractors do
+    (``network.programs[v]`` / ``network.contexts[v]``)."""
+
+    def __init__(self):
+        self.calls = []
+
+    def after_round(self, network, r, touched):
+        for v in touched:
+            assert network.programs[v] is not None
+            assert network.contexts[v].node == v
+        self.calls.append((r, frozenset(touched)))
+
+
+class TestMultiplexerResumption:
+    """MultiplexedNetwork.run() mirrors Network.run()'s contract:
+    ``max_rounds`` is absolute, RoundLimitExceeded leaves queues and
+    clocks intact, and a re-run with a larger budget finishes the same
+    execution -- with monitor, tracer, and registry staying attached
+    throughout (the ISSUE's interruption/resumption coverage)."""
+
+    def _make(self, **kwargs):
+        from repro.obs import MetricsRegistry, Tracer
+
+        g = random_graph(10, p=0.3, w_max=5, zero_fraction=0.4, seed=7)
+        srcs = [0, 3, 7]
+        monitor = _CountingMonitor()
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        net = MultiplexedNetwork(
+            g, [short_range_factory(s, 4) for s in srcs],
+            monitor=monitor, tracer=tracer, registry=registry, **kwargs)
+        return g, srcs, net, monitor, tracer, registry
+
+    def test_interrupt_then_resume_matches_solo(self):
+        from repro.congest.network import RoundLimitExceeded
+        from repro.obs import run_metrics_view
+
+        g, srcs, net, monitor, tracer, registry = self._make()
+        with pytest.raises(RoundLimitExceeded):
+            net.run(max_rounds=3)
+        assert net._physical == 3
+        calls_at_interrupt = len(monitor.calls)
+        assert calls_at_interrupt > 0
+
+        m = net.run(max_rounds=500)  # absolute budget; resumes at round 4
+        for i, s in enumerate(srcs):
+            solo = run_short_range(g, s, 4, cutoff=False)
+            assert [o[0] for o in net.outputs(i)] == solo.dist, s
+
+        # the monitor kept firing after resumption, rounds never repeat
+        # (the interrupted round 4 is re-attempted, not skipped)
+        rounds_seen = [r for r, _ in monitor.calls]
+        assert len(monitor.calls) > calls_at_interrupt
+        assert rounds_seen == sorted(rounds_seen)
+        assert max(rounds_seen) <= m.rounds
+
+        # the tracer saw both segments: mux.round events cover the run
+        mux_rounds = [e.data for e in tracer.of_kind("mux.round")]
+        assert sum(d[0] for d in mux_rounds) == m.messages
+        assert len(tracer.of_kind("mux.send")) == m.messages
+
+        # delta-publishing across the interrupt: no double counting
+        assert run_metrics_view(registry, prefix="mux") == m
+
+    def test_limit_error_is_a_runtime_error_and_reports_backlog(self):
+        g, srcs, net, *_ = self._make()
+        with pytest.raises(RuntimeError, match="envelopes still queued"):
+            net.run(max_rounds=2)
+        assert net.queue_backlog() >= 0
+
+    def test_resume_after_quiescence_is_a_noop(self):
+        _, _, net, monitor, tracer, _ = self._make()
+        m1 = net.run(max_rounds=500)
+        calls, events = len(monitor.calls), len(tracer.events)
+        m2 = net.run(max_rounds=500)
+        assert m2.rounds == m1.rounds and m2.messages == m1.messages
+        assert (len(monitor.calls), len(tracer.events)) == (calls, events)
+
+    def test_interrupted_equals_uninterrupted(self):
+        """Chopping the run into many budget slices must not change the
+        execution at all."""
+        from repro.congest.network import RoundLimitExceeded
+
+        g, srcs, net, _, _, _ = self._make()
+        budget = 2
+        while True:
+            try:
+                m = net.run(max_rounds=budget)
+                break
+            except RoundLimitExceeded:
+                budget += 2
+        _, _, whole, _, _, _ = self._make()
+        m_ref = whole.run(max_rounds=500)
+        assert m.summary() == m_ref.summary()
+        for i in range(len(srcs)):
+            assert net.outputs(i) == whole.outputs(i)
