@@ -29,6 +29,21 @@ _REPORTS: List[ExperimentReport] = []
 _STORE = Path(__file__).parent
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-backend", choices=["reference", "fast"], default=None,
+        help="ambient simulator backend for every benchmark sweep "
+             "(sweeps needing unsupported hooks fall back to the "
+             "reference backend; results are pinned identical)")
+
+
+def pytest_configure(config):
+    backend = config.getoption("--repro-backend")
+    if backend is not None:
+        from repro.perf import set_default_backend
+        set_default_backend(backend)
+
+
 def record_report(report: ExperimentReport) -> ExperimentReport:
     _REPORTS.append(report)
     return report

@@ -7,6 +7,6 @@ paper-to-module map.
 
 __version__ = "1.0.0"
 
-from . import bounds, congest, core, graphs
+from . import bounds, congest, core, graphs, perf
 
-__all__ = ["bounds", "congest", "core", "graphs", "__version__"]
+__all__ = ["bounds", "congest", "core", "graphs", "perf", "__version__"]

@@ -12,6 +12,7 @@ from .inspect import (
 from .records import ExperimentReport, Measurement
 from .tables import format_value, render_markdown, render_report, render_table
 from .sweep import (
+    sweep_backend_speedup,
     sweep_fault_tolerance,
     sweep_invariants,
     sweep_short_range,
@@ -36,6 +37,7 @@ __all__ = [
     "render_markdown",
     "render_report",
     "render_table",
+    "sweep_backend_speedup",
     "sweep_fault_tolerance",
     "sweep_invariants",
     "sweep_short_range",

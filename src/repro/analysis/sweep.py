@@ -11,6 +11,7 @@ parameter to expose the bound's *shape*.
 from __future__ import annotations
 
 import math
+import time
 from typing import Optional, Sequence, Tuple
 
 from .. import bounds as bounds_mod
@@ -22,7 +23,7 @@ from ..core import (
     run_k_ssp,
     run_short_range,
 )
-from ..graphs import random_graph, zero_cluster_graph
+from ..graphs import path_graph, random_graph, zero_cluster_graph
 from .records import ExperimentReport
 
 
@@ -157,6 +158,78 @@ def sweep_table1_exact(*, seeds: Sequence[int] = (0, 1),
                     measured=a1.metrics.rounds, bound=a1.round_bound)
             rep.add({"seed": seed, "n": g.n, "algorithm": "blocker (Alg 3)"},
                     measured=a3.metrics.rounds)
+    return rep
+
+
+def sweep_backend_speedup(*, sizes: Sequence[int] = (768, 1536), w: int = 4,
+                          repeats: int = 3,
+                          report: Optional[ExperimentReport] = None
+                          ) -> ExperimentReport:
+    """E19: wall-clock speedup of the fast simulator backend over the
+    reference backend on the Theorem I.1 pipelined algorithm.
+
+    The workload is Algorithm 1 (``run_hk_ssp``, single source,
+    ``h = n-1``) on a weighted path graph -- the regime where the
+    reference backend's per-round O(n) scans dominate: ~n active rounds
+    each touching O(1) nodes, so the reference pays O(n^2) scheduler
+    work against the fast backend's O(n log n).  ``Delta`` is
+    precomputed once via the sequential oracle and passed to *both*
+    backends, so only the simulators themselves are timed.
+
+    Timing is interleaved best-of-``repeats`` (each repeat times the
+    reference then the fast backend, and each backend keeps its fastest
+    repeat), which suppresses one-sided scheduler noise on loaded CI
+    machines.  Every row also differentially re-checks the two runs --
+    identical distances, round counts, and message totals -- so a
+    speedup number can never come from the backends quietly computing
+    different things.
+
+    ``measured`` is the speedup (reference seconds / fast seconds);
+    ``bound`` is left ``None`` because :class:`Measurement.within_bound`
+    tests ``measured <= bound`` and a speedup gate needs ``>=`` -- the
+    gate lives in ``benchmarks/bench_backend_speedup.py`` (CI fails
+    below 2x at the largest size).
+    """
+    from ..graphs.reference import weak_delta_bound
+
+    rep = report or ExperimentReport(
+        "E19", "Backend speedup: fast vs reference wall-clock on the "
+               "Theorem I.1 pipelined schedule (path graphs)")
+    for n in sizes:
+        g = path_graph(n, w=w)
+        h = n - 1
+        delta = weak_delta_bound(g, [0], h)
+        ref_s = fast_s = math.inf
+        ref_res = fast_res = None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            r = run_hk_ssp(g, [0], h, delta, backend="reference")
+            dt = time.perf_counter() - t0
+            if dt < ref_s:
+                ref_s, ref_res = dt, r
+            t0 = time.perf_counter()
+            f = run_hk_ssp(g, [0], h, delta, backend="fast")
+            dt = time.perf_counter() - t0
+            if dt < fast_s:
+                fast_s, fast_res = dt, f
+        if ref_res.dist != fast_res.dist:
+            raise AssertionError(
+                f"E19 n={n}: backends disagree on distances -- speedup "
+                f"numbers would be meaningless (differential harness "
+                f"escape, see tests/differential.py)")
+        if (ref_res.metrics.rounds != fast_res.metrics.rounds
+                or ref_res.metrics.messages != fast_res.metrics.messages):
+            raise AssertionError(
+                f"E19 n={n}: backends disagree on metrics "
+                f"(rounds {ref_res.metrics.rounds} vs "
+                f"{fast_res.metrics.rounds}, messages "
+                f"{ref_res.metrics.messages} vs {fast_res.metrics.messages})")
+        rep.add({"n": n, "w": w, "Delta": delta},
+                measured=round(ref_s / fast_s, 2),
+                ref_s=round(ref_s, 4),
+                fast_s=round(fast_s, 4),
+                rounds=ref_res.metrics.rounds,
+                messages=ref_res.metrics.messages)
     return rep
 
 

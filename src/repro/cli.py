@@ -10,8 +10,9 @@ Commands operate on graph files in the plain-text format of
 * ``hkssp`` -- the (h, k)-SSP problem (the paper's weak contract);
 * ``approx``-- (1+eps)-approximate APSP;
 * ``bounds``-- evaluate the paper's bound formulas for given parameters;
-* ``bench`` -- run one of the experiment sweeps (E1-E18) and print its
-  measured-vs-bound table;
+* ``bench`` -- run one of the experiment sweeps (E1-E19) and print its
+  measured-vs-bound table, optionally fanned out across worker
+  processes (``--jobs N``) via :class:`repro.perf.SweepExecutor`;
 * ``explain``-- replay how one node learned its distance from one source;
 * ``faults``-- run an algorithm under seeded fault injection (drops,
   duplicates, delays, corruption, crashes), optionally with the
@@ -22,6 +23,12 @@ Commands operate on graph files in the plain-text format of
   bench`` persists a benchmark suite into the ``BENCH_*.json`` store
   and can fail on regression vs a stored baseline, ``obs diff``
   compares two stored records.
+
+Simulation commands accept ``--backend reference|fast`` to pick the
+CONGEST simulator backend (:mod:`repro.perf.backends`); the fast backend
+is differentially pinned to the reference one, but refuses hooks it
+cannot honor (tracing, fault injection) with a clear error instead of
+silently diverging.
 """
 
 from __future__ import annotations
@@ -111,14 +118,19 @@ def cmd_info(args, out) -> int:
 
 
 def cmd_apsp(args, out) -> int:
+    from .perf import use_backend
+
     g = gio.load(args.graph)
     if args.method == "scaling":
-        res = run_scaling_apsp(g)
+        # The scaling pipeline builds its phase networks through
+        # make_network, so an ambient backend covers it.
+        with use_backend(args.backend):
+            res = run_scaling_apsp(g)
         _metrics_report(res.metrics, out)
         if not args.quiet:
             _print_distances(res.dist, range(g.n), g.n, out)
         return 0
-    res = api_apsp(g, method=args.method)
+    res = api_apsp(g, method=args.method, backend=args.backend)
     bound = getattr(res, "round_bound", None)
     _metrics_report(res.metrics, out, bound)
     if not args.quiet:
@@ -129,7 +141,7 @@ def cmd_apsp(args, out) -> int:
 def cmd_kssp(args, out) -> int:
     g = gio.load(args.graph)
     sources = [int(s) for s in args.sources.split(",")]
-    res = api_kssp(g, sources, method=args.method)
+    res = api_kssp(g, sources, method=args.method, backend=args.backend)
     _metrics_report(res.metrics, out, getattr(res, "round_bound", None))
     if not args.quiet:
         _print_distances(res.dist, sources, g.n, out)
@@ -139,7 +151,7 @@ def cmd_kssp(args, out) -> int:
 def cmd_hkssp(args, out) -> int:
     g = gio.load(args.graph)
     sources = [int(s) for s in args.sources.split(",")]
-    res = run_hk_ssp(g, sources, args.hops)
+    res = run_hk_ssp(g, sources, args.hops, backend=args.backend)
     out.write(f"(h={args.hops}, k={res.k})-SSP, Delta={res.delta}, "
               f"gamma={res.gamma:.4f}\n")
     _metrics_report(res.metrics, out, res.round_bound)
@@ -187,6 +199,7 @@ def cmd_bench(args, out) -> int:
         "E16": lambda: [exp_mod.sweep_random_vs_deterministic()],
         "E17": lambda: list(exp_mod.sweep_ksource_short_range()),
         "E18": lambda: [sweep_mod.sweep_fault_tolerance()],
+        "E19": lambda: [sweep_mod.sweep_backend_speedup()],
     }
     key = args.experiment.upper()
     if key == "ALL":
@@ -197,9 +210,19 @@ def cmd_bench(args, out) -> int:
         raise SystemExit(
             f"unknown experiment {args.experiment!r}; pick one of "
             f"{', '.join(sorted(registry, key=lambda k: int(k[1:])))} or 'all'")
+    jobs = args.jobs
+    backend = args.backend
     rc = 0
     for k in keys:
-        for rep in registry[k]():
+        if jobs > 1 or backend is not None:
+            # The executor knows which sweeps split by seed (the rest
+            # run as a single task) and threads the backend either way;
+            # merged reports are row-identical to the sequential path.
+            from .perf import run_experiment
+            reports = run_experiment(k, jobs=jobs, backend=backend)
+        else:
+            reports = registry[k]()
+        for rep in reports:
             out.write(render_report(rep) + "\n\n")
             if not rep.all_within_bound:
                 out.write(f"WARNING: {rep.experiment} has bound violations\n")
@@ -287,18 +310,28 @@ def cmd_faults(args, out) -> int:
     return 1 if wrong else 0
 
 
-def _obs_smoke_reports():
-    """The deterministic micro-suite behind ``repro obs bench --suite
-    smoke`` (and CI's benchmark smoke job): fixed-seed, small-size
-    variants of three headline sweeps.  Round counts are deterministic,
-    so identical code must produce an identical record."""
-    from .analysis import sweep as sweep_mod
+#: The deterministic micro-suite behind ``repro obs bench --suite smoke``
+#: (and CI's benchmark smoke job): fixed-seed, small-size variants of
+#: three headline sweeps.  Round counts are deterministic, so identical
+#: code must produce an identical record -- bit-identical even across
+#: ``--jobs`` values, which tests/test_sweep_executor.py pins.
+_SMOKE_SUITE = (
+    ("repro.analysis.sweep:sweep_theorem11_apsp",
+     {"seeds": (0,), "sizes": (8, 12)}),
+    ("repro.analysis.sweep:sweep_theorem11_hk_ssp",
+     {"seeds": (0,), "sizes": (10,)}),
+    ("repro.analysis.sweep:sweep_table1_exact",
+     {"seeds": (0,), "sizes": (8,)}),
+)
 
-    return [
-        sweep_mod.sweep_theorem11_apsp(seeds=(0,), sizes=(8, 12)),
-        sweep_mod.sweep_theorem11_hk_ssp(seeds=(0,), sizes=(10,)),
-        sweep_mod.sweep_table1_exact(seeds=(0,), sizes=(8,)),
-    ]
+
+def _obs_smoke_reports(jobs: int = 1, backend: Optional[str] = None):
+    """Run the smoke suite, optionally fanning the three sweeps out
+    across worker processes.  Report order is task order either way."""
+    from .perf import SweepExecutor, SweepTask
+
+    tasks = [SweepTask(func, dict(kwargs)) for func, kwargs in _SMOKE_SUITE]
+    return SweepExecutor(jobs, backend=backend).run(tasks)
 
 
 def cmd_obs(args, out) -> int:
@@ -315,11 +348,17 @@ def cmd_obs(args, out) -> int:
             if args.sources else None
 
         def execute():
+            # obs run always attaches a tracer, which the fast backend
+            # refuses rather than silently not tracing: --backend fast
+            # raises BackendUnsupported on the single-network methods;
+            # the multi-phase blocker method runs it as the ambient
+            # default instead, so its traced phases fall back to the
+            # reference backend (results pinned identical).
             if sources is None:
                 return api_apsp(g, method=args.method, tracer=tracer,
-                                registry=registry)
+                                registry=registry, backend=args.backend)
             return api_kssp(g, sources, method=args.method, tracer=tracer,
-                            registry=registry)
+                            registry=registry, backend=args.backend)
 
         if profile is not None:
             with profile:
@@ -339,7 +378,7 @@ def cmd_obs(args, out) -> int:
 
     if args.obs_command == "bench":
         store = BenchStore(args.store)
-        reports = _obs_smoke_reports()
+        reports = _obs_smoke_reports(jobs=args.jobs, backend=args.backend)
         path = store.save(args.name, reports, meta={"suite": args.suite})
         out.write(f"wrote {path}\n")
         if args.baseline:
@@ -376,6 +415,12 @@ def cmd_bounds(args, out) -> int:
     return 0
 
 
+def _add_backend_flag(parser) -> None:
+    parser.add_argument("--backend", choices=["reference", "fast"],
+                        help="simulator backend (default: ambient, i.e. "
+                             "REPRO_BACKEND or 'reference')")
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -408,6 +453,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "scaling"])
     a.add_argument("-q", "--quiet", action="store_true",
                    help="metrics only, no distance matrix")
+    _add_backend_flag(a)
     a.set_defaults(func=cmd_apsp)
 
     k = sub.add_parser("kssp", help="k-source shortest paths")
@@ -416,6 +462,7 @@ def build_parser() -> argparse.ArgumentParser:
     k.add_argument("--method", default="auto",
                    choices=["auto", "pipelined", "blocker", "bellman-ford"])
     k.add_argument("-q", "--quiet", action="store_true")
+    _add_backend_flag(k)
     k.set_defaults(func=cmd_kssp)
 
     hk = sub.add_parser("hkssp", help="(h,k)-SSP (the paper's weak contract)")
@@ -423,6 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
     hk.add_argument("--sources", required=True)
     hk.add_argument("--hops", type=int, required=True)
     hk.add_argument("-q", "--quiet", action="store_true")
+    _add_backend_flag(hk)
     hk.set_defaults(func=cmd_hkssp)
 
     ap = sub.add_parser("approx", help="(1+eps)-approximate APSP")
@@ -433,8 +481,12 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("-q", "--quiet", action="store_true")
     ap.set_defaults(func=cmd_approx)
 
-    be = sub.add_parser("bench", help="run an experiment sweep (E1-E14 or all)")
+    be = sub.add_parser("bench", help="run an experiment sweep (E1-E19 or all)")
     be.add_argument("experiment", help="experiment id, e.g. E2, or 'all'")
+    be.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="fan seed-splittable sweeps out across N worker "
+                         "processes (results identical to --jobs 1)")
+    _add_backend_flag(be)
     be.set_defaults(func=cmd_bench)
 
     ex = sub.add_parser("explain",
@@ -490,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="time the instrumented hot loops")
     orun.add_argument("--cprofile", action="store_true",
                       help="full cProfile capture (slow; implies --profile)")
+    _add_backend_flag(orun)
     orun.set_defaults(func=cmd_obs)
     obench = osub.add_parser(
         "bench", help="run a benchmark suite into the BENCH_*.json store")
@@ -504,6 +557,10 @@ def build_parser() -> argparse.ArgumentParser:
     obench.add_argument("--tolerance", type=float, default=0.1,
                         help="relative slack before a larger measurement "
                              "counts as a regression (default 0.1)")
+    obench.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run the suite's sweeps in N worker processes "
+                             "(record is bit-identical to --jobs 1)")
+    _add_backend_flag(obench)
     obench.set_defaults(func=cmd_obs)
     odiff = osub.add_parser(
         "diff", help="compare two stored benchmark records")
@@ -526,11 +583,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
+    from .perf import BackendUnsupported, SweepWorkerError
     try:
         return args.func(args, out)
-    except (FileNotFoundError, ValueError, KeyError) as exc:
+    except (FileNotFoundError, ValueError, KeyError,
+            BackendUnsupported, SweepWorkerError) as exc:
         # expected user errors (missing file, bad parameter, malformed
-        # graph): one clean line on stderr, exit 2 -- no traceback
+        # graph, backend/hook contradiction, failed sweep worker): one
+        # clean message on stderr, exit 2 -- no traceback
         from .graphs.digraph import GraphError  # noqa: F401 (subclass of ValueError)
         sys.stderr.write(f"error: {exc}\n")
         return 2

@@ -19,6 +19,7 @@ from typing import Dict, Optional, Sequence, Union
 
 from .. import bounds as bounds_mod
 from ..graphs.digraph import WeightedDigraph
+from ..perf.backends import use_backend
 from .approx import ApproxAPSPResult, run_approx_apsp
 from .bellman_ford import BellmanFordKSSPResult, run_bellman_ford_apsp, run_bellman_ford_kssp
 from .kssp import KSSPResult, run_apsp_blocker, run_kssp_blocker
@@ -43,7 +44,8 @@ def _estimate_bounds(graph: WeightedDigraph, k: int) -> Dict[str, float]:
 def apsp(graph: WeightedDigraph, *, method: str = "auto",
          delta: Optional[int] = None, h: Optional[int] = None,
          tracer: Optional[object] = None,
-         registry: Optional[object] = None) -> APSPResult:
+         registry: Optional[object] = None,
+         backend: Optional[str] = None) -> APSPResult:
     """Exact all-pairs shortest paths.
 
     method:
@@ -56,17 +58,27 @@ def apsp(graph: WeightedDigraph, *, method: str = "auto",
     ``tracer`` / ``registry`` (:class:`repro.obs.Tracer` /
     :class:`repro.obs.MetricsRegistry`) attach the observability
     subsystem to whichever algorithm runs.
+
+    ``backend`` selects the simulator backend (``"reference"`` /
+    ``"fast"``, see :mod:`repro.perf.backends`).  For the single-network
+    methods it is passed explicitly (so ``"fast"`` + an unsupported hook
+    raises); the multi-phase blocker method runs under it as the ambient
+    default (phases carrying unsupported hooks use the reference
+    backend -- results are pinned identical either way).
     """
     if method == "auto":
         est = _estimate_bounds(graph, graph.n)
         method = min(est, key=est.get)  # type: ignore[arg-type]
     if method == "pipelined":
-        return run_apsp(graph, delta, tracer=tracer, registry=registry)
+        return run_apsp(graph, delta, tracer=tracer, registry=registry,
+                        backend=backend)
     if method == "blocker":
-        return run_apsp_blocker(graph, h, delta=delta, tracer=tracer,
-                                registry=registry)
+        with use_backend(backend):
+            return run_apsp_blocker(graph, h, delta=delta, tracer=tracer,
+                                    registry=registry)
     if method == "bellman-ford":
-        return run_bellman_ford_apsp(graph, tracer=tracer, registry=registry)
+        return run_bellman_ford_apsp(graph, tracer=tracer, registry=registry,
+                                     backend=backend)
     raise ValueError(f"unknown APSP method {method!r}")
 
 
@@ -74,21 +86,24 @@ def k_ssp(graph: WeightedDigraph, sources: Sequence[int], *,
           method: str = "auto", delta: Optional[int] = None,
           h: Optional[int] = None,
           tracer: Optional[object] = None,
-          registry: Optional[object] = None) -> APSPResult:
+          registry: Optional[object] = None,
+          backend: Optional[str] = None) -> APSPResult:
     """Exact shortest paths from ``k`` given sources (Theorem I.1(iii) /
-    I.2(ii) / I.3(ii)); same methods as :func:`apsp`."""
+    I.2(ii) / I.3(ii)); same methods and ``backend`` semantics as
+    :func:`apsp`."""
     if method == "auto":
         est = _estimate_bounds(graph, len(set(sources)))
         method = min(est, key=est.get)  # type: ignore[arg-type]
     if method == "pipelined":
         return run_k_ssp(graph, sources, delta, tracer=tracer,
-                         registry=registry)
+                         registry=registry, backend=backend)
     if method == "blocker":
-        return run_kssp_blocker(graph, sources, h, delta=delta,
-                                tracer=tracer, registry=registry)
+        with use_backend(backend):
+            return run_kssp_blocker(graph, sources, h, delta=delta,
+                                    tracer=tracer, registry=registry)
     if method == "bellman-ford":
         return run_bellman_ford_kssp(graph, sources, tracer=tracer,
-                                     registry=registry)
+                                     registry=registry, backend=backend)
     raise ValueError(f"unknown k-SSP method {method!r}")
 
 

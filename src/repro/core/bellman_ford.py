@@ -23,8 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..congest import Envelope, Network, NodeContext, Program, RunMetrics, merge_sequential
+from ..congest import Envelope, NodeContext, Program, RunMetrics, merge_sequential
 from ..graphs.digraph import WeightedDigraph
+from ..perf.backends import make_network
 
 INF = float("inf")
 
@@ -101,7 +102,8 @@ def run_bellman_ford(graph: WeightedDigraph, source: int, *,
                      tracer: Optional[object] = None,
                      registry: Optional[object] = None,
                      timeout: int = 4,
-                     max_rounds: Optional[int] = None
+                     max_rounds: Optional[int] = None,
+                     backend: Optional[str] = None
                      ) -> BellmanFordResult:
     """SSSP from *source*; with *max_hops* = h the result is the exact
     h-hop DP distance vector.  ``initial`` warm-starts nodes with known
@@ -145,8 +147,9 @@ def run_bellman_ford(graph: WeightedDigraph, source: int, *,
                 from ..obs.registry import publish_run_metrics
                 publish_run_metrics(registry, metrics)
         else:
-            net = Network(graph, factory, fault_plan=fault_plan,
-                          monitor=monitor, tracer=tracer, registry=registry)
+            net = make_network(graph, factory, backend=backend,
+                               fault_plan=fault_plan, monitor=monitor,
+                               tracer=tracer, registry=registry)
             metrics = net.run(max_rounds=max_rounds)
             outs = net.outputs()
         if sp is not None:
@@ -171,7 +174,8 @@ class BellmanFordKSSPResult:
 def run_bellman_ford_kssp(graph: WeightedDigraph, sources: Sequence[int],
                           *, max_hops: Optional[int] = None,
                           tracer: Optional[object] = None,
-                          registry: Optional[object] = None
+                          registry: Optional[object] = None,
+                          backend: Optional[str] = None
                           ) -> BellmanFordKSSPResult:
     """Sequential per-source Bellman-Ford: the Table I baseline.
     Total rounds = sum of the per-source convergence rounds.
@@ -191,7 +195,8 @@ def run_bellman_ford_kssp(graph: WeightedDigraph, sources: Sequence[int],
     with cm as sp:
         for s in srcs:
             res = run_bellman_ford(graph, s, max_hops=max_hops,
-                                   tracer=tracer, registry=registry)
+                                   tracer=tracer, registry=registry,
+                                   backend=backend)
             dist[s] = res.dist
             parent[s] = res.parent
             metrics = res.metrics if metrics is None else merge_sequential(metrics, res.metrics)
@@ -204,8 +209,10 @@ def run_bellman_ford_kssp(graph: WeightedDigraph, sources: Sequence[int],
 def run_bellman_ford_apsp(graph: WeightedDigraph,
                           *, max_hops: Optional[int] = None,
                           tracer: Optional[object] = None,
-                          registry: Optional[object] = None
+                          registry: Optional[object] = None,
+                          backend: Optional[str] = None
                           ) -> BellmanFordKSSPResult:
     """All-sources sequential Bellman-Ford (the O(n * SPD) baseline)."""
     return run_bellman_ford_kssp(graph, range(graph.n), max_hops=max_hops,
-                                 tracer=tracer, registry=registry)
+                                 tracer=tracer, registry=registry,
+                                 backend=backend)

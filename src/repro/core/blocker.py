@@ -39,7 +39,6 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..congest import (
     Envelope,
-    Network,
     NodeContext,
     Program,
     RunMetrics,
@@ -50,6 +49,7 @@ from ..congest import (
     merge_sequential,
 )
 from ..graphs.digraph import WeightedDigraph
+from ..perf.backends import make_network
 from .csssp import CSSSPCollection
 
 INF = float("inf")
@@ -323,14 +323,14 @@ def compute_blocker_set(graph: WeightedDigraph,
     phase_rounds = {"bfs_tree": bfs.metrics.rounds}
 
     # Phase 0b: children discovery.
-    net = Network(graph, lambda v: ChildrenDiscoveryProgram(v, coll))
+    net = make_network(graph, lambda v: ChildrenDiscoveryProgram(v, coll))
     m = net.run(max_rounds=k + 2)
     metrics = merge_sequential(metrics, m)
     phase_rounds["children_discovery"] = m.rounds
     children: List[Dict[int, List[int]]] = net.outputs()
 
     # Phase 0c: score initialisation (pipelined convergecast on k trees).
-    net = Network(graph, lambda v: ScoreInitProgram(v, coll, children[v]))
+    net = make_network(graph, lambda v: ScoreInitProgram(v, coll, children[v]))
     m = net.run(max_rounds=(k + 1) * (coll.h + 2) + 4)
     metrics = merge_sequential(metrics, m)
     phase_rounds["score_init"] = m.rounds
@@ -371,14 +371,14 @@ def compute_blocker_set(graph: WeightedDigraph,
 
         # Ancestor updates (uses c's scores *before* they are zeroed).
         c_scores = dict(scores[c])
-        net = Network(graph, lambda v: AncestorUpdateProgram(
+        net = make_network(graph, lambda v: AncestorUpdateProgram(
             v, coll, c, c_scores, scores[v]))
         m = net.run(max_rounds=k + coll.h + 4)
         metrics = merge_sequential(metrics, m)
         phase_rounds["ancestor_updates"] += m.rounds
 
         # Descendant updates (Algorithm 4).
-        net = Network(graph, lambda v: DescendantUpdateProgram(
+        net = make_network(graph, lambda v: DescendantUpdateProgram(
             v, coll, c, children[v], scores[v]))
         m = net.run(max_rounds=k + coll.h + 4)
         metrics = merge_sequential(metrics, m)

@@ -56,8 +56,9 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..congest import Envelope, Network, NodeContext, Program, RunMetrics
+from ..congest import Envelope, NodeContext, Program, RunMetrics
 from ..congest.events import TraceRecorder
+from ..perf.backends import make_network
 from ..graphs.digraph import WeightedDigraph
 from ..graphs.reference import weak_delta_bound
 from .entries import Entry, SourceBest
@@ -282,7 +283,8 @@ def run_hk_ssp(graph: WeightedDigraph, sources: Sequence[int], h: int,
                monitor: Optional[object] = None,
                tracer: Optional[object] = None,
                registry: Optional[object] = None,
-               record_window: int = 0) -> HKSSPResult:
+               record_window: int = 0,
+               backend: Optional[str] = None) -> HKSSPResult:
     """Run Algorithm 1 on *graph* for the source set *sources*.
 
     Parameters
@@ -316,6 +318,11 @@ def run_hk_ssp(graph: WeightedDigraph, sources: Sequence[int], h: int,
         inserts, flag-d* promotions) unless an explicit ``trace`` is
         given, and both hooks are forwarded to the
         :class:`~repro.congest.network.Network`.
+    backend:
+        Simulator backend: ``"reference"``, ``"fast"``, or ``None`` for
+        the ambient default (see :mod:`repro.perf.backends`).  The fast
+        backend is differentially pinned to identical results but
+        rejects fault/monitor/tracer hooks.
 
     Returns an :class:`HKSSPResult` (see its docstring for the exact
     output contract); validation against the sequential oracles is the
@@ -359,9 +366,10 @@ def run_hk_ssp(graph: WeightedDigraph, sources: Sequence[int], h: int,
         programs.append(p)
         return p
 
-    net = Network(graph, factory, fault_plan=fault_plan, monitor=monitor,
-                  tracer=tracer, registry=registry,
-                  record_window=record_window)
+    net = make_network(graph, factory, backend=backend,
+                       fault_plan=fault_plan, monitor=monitor,
+                       tracer=tracer, registry=registry,
+                       record_window=record_window)
     if tracer is not None:
         with tracer.span("pipelined", h=h, k=k, delta=delta) as sp:
             metrics = net.run(max_rounds=max_rounds)

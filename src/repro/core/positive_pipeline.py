@@ -26,8 +26,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..congest import Envelope, Network, NodeContext, Program, RunMetrics
+from ..congest import Envelope, NodeContext, Program, RunMetrics
 from ..graphs.digraph import WeightedDigraph
+from ..perf.backends import make_network
 
 INF = float("inf")
 
@@ -128,7 +129,7 @@ def run_positive_apsp(graph: WeightedDigraph,
             from ..graphs.reference import shortest_path_diameter
             delta = shortest_path_diameter(graph)
     bound = delta + len(srcs) + 1
-    net = Network(graph, lambda v: PositivePipelineProgram(
+    net = make_network(graph, lambda v: PositivePipelineProgram(
         v, srcs, distance_cap=distance_cap,
         cutoff_round=bound if cutoff else None))
     metrics = net.run(max_rounds=2 * bound + 16)

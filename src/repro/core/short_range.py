@@ -36,8 +36,9 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..congest import Envelope, Network, NodeContext, Program, RunMetrics
+from ..congest import Envelope, NodeContext, Program, RunMetrics
 from ..graphs.digraph import WeightedDigraph
+from ..perf.backends import make_network
 from ..graphs.reference import weak_delta_bound
 
 INF = float("inf")
@@ -157,7 +158,8 @@ def run_short_range(graph: WeightedDigraph, source: int, h: int,
                     monitor: Optional[object] = None,
                     tracer: Optional[object] = None,
                     registry: Optional[object] = None,
-                    timeout: int = 4) -> ShortRangeResult:
+                    timeout: int = 4,
+                    backend: Optional[str] = None) -> ShortRangeResult:
     """Run Algorithm 2 from *source* with hop range *h*.
 
     ``initial`` turns this into the short-range-extension algorithm:
@@ -219,8 +221,9 @@ def run_short_range(graph: WeightedDigraph, source: int, h: int,
                 from ..obs.registry import publish_run_metrics
                 publish_run_metrics(registry, metrics)
         else:
-            net = Network(graph, factory, fault_plan=fault_plan,
-                          monitor=monitor, tracer=tracer, registry=registry)
+            net = make_network(graph, factory, backend=backend,
+                               fault_plan=fault_plan, monitor=monitor,
+                               tracer=tracer, registry=registry)
             metrics = net.run(max_rounds=max_rounds)
             outs = net.outputs()
         if sp is not None:
@@ -441,7 +444,8 @@ class KSourceShortRangeResult:
 def run_k_source_short_range_joint(graph: WeightedDigraph,
                                    sources: Sequence[int], h: int,
                                    delta: Optional[int] = None,
-                                   *, cutoff: bool = True
+                                   *, cutoff: bool = True,
+                                   backend: Optional[str] = None
                                    ) -> KSourceShortRangeResult:
     """Run the k-source short-range variant as ONE program per node
     (all sources share the node's channel; deferrals are FIFO).
@@ -463,9 +467,9 @@ def run_k_source_short_range_joint(graph: WeightedDigraph,
     nominal = math.ceil(math.sqrt(max(0, delta) * h * k) + h) + 2
     slack = math.ceil(math.sqrt(h * k)) * k + k
     dilation_bound = nominal + slack
-    net = Network(graph, lambda v: KSourceShortRangeProgram(
+    net = make_network(graph, lambda v: KSourceShortRangeProgram(
         v, srcs, h, gamma,
-        cutoff_round=dilation_bound if cutoff else None))
+        cutoff_round=dilation_bound if cutoff else None), backend=backend)
     metrics = net.run(max_rounds=2 * dilation_bound + 64)
 
     dist: Dict[int, List[float]] = {x: [INF] * graph.n for x in srcs}

@@ -20,8 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..congest import Envelope, Network, NodeContext, Program, RunMetrics
+from ..congest import Envelope, NodeContext, Program, RunMetrics
 from ..graphs.digraph import WeightedDigraph
+from ..perf.backends import make_network
 
 INF = float("inf")
 
@@ -114,7 +115,7 @@ def run_unweighted_apsp(graph: WeightedDigraph,
     """
     srcs = tuple(dict.fromkeys(sources)) if sources is not None else tuple(range(graph.n))
     bound = 2 * graph.n
-    net = Network(graph, lambda v: UnweightedAPSPProgram(
+    net = make_network(graph, lambda v: UnweightedAPSPProgram(
         v, srcs, restrict_zero=restrict_zero,
         cutoff_round=bound if cutoff else None))
     metrics = net.run(max_rounds=4 * graph.n + len(srcs) + 16)

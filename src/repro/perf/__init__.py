@@ -1,0 +1,57 @@
+"""Performance layer: fast simulator backend + parallel sweep executor.
+
+Two independent speedups with one shared rule -- *never trade
+correctness for wall-clock silently*:
+
+* :class:`FastNetwork` (selected via ``backend="fast"``, ambiently via
+  :func:`set_default_backend` / ``REPRO_BACKEND=fast``) replaces the
+  reference simulator's per-round whole-network scans with an
+  event-driven active-node worklist; it is differentially pinned to
+  produce bit-identical outputs and :class:`~repro.congest.metrics.
+  RunMetrics` (``tests/differential.py``), and raises
+  :class:`BackendUnsupported` for hooks it cannot honor.
+* :class:`SweepExecutor` fans seed-major parameter sweeps across
+  ``multiprocessing`` workers and merges the rows back in task order,
+  reproducing the sequential reports exactly
+  (``tests/test_sweep_executor.py`` pins the persisted bytes).
+
+See docs/PERFORMANCE.md for the contract and the measured speedups.
+"""
+
+from .backends import (
+    BACKENDS,
+    BackendUnsupported,
+    get_default_backend,
+    make_network,
+    set_default_backend,
+    use_backend,
+)
+from .fast_network import FastNetwork
+from .sweep_executor import (
+    EXPERIMENT_SWEEPS,
+    SweepExecutor,
+    SweepSpec,
+    SweepTask,
+    SweepWorkerError,
+    experiment_tasks,
+    merge_reports,
+    run_experiment,
+)
+
+__all__ = [
+    "BACKENDS",
+    "BackendUnsupported",
+    "EXPERIMENT_SWEEPS",
+    "FastNetwork",
+    "SweepExecutor",
+    "SweepSpec",
+    "SweepTask",
+    "SweepWorkerError",
+    "experiment_tasks",
+    "get_default_backend",
+    "make_network",
+    "merge_reports",
+    "run_experiment",
+    "set_default_backend",
+    "use_backend",
+]

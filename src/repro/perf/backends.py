@@ -1,0 +1,137 @@
+"""Simulator backend selection.
+
+Two interchangeable CONGEST simulator backends exist:
+
+* ``"reference"`` -- :class:`repro.congest.network.Network`, the fully
+  instrumented simulator (fault injection, invariant monitors, tracers,
+  post-mortem event recording);
+* ``"fast"`` -- :class:`repro.perf.fast_network.FastNetwork`, the
+  event-driven worklist backend, differentially tested to be
+  bit-identical on outputs and :class:`~repro.congest.metrics.RunMetrics`
+  but supporting only the ``registry`` hook.
+
+Call sites in :mod:`repro.core` construct networks through
+:func:`make_network` instead of naming a class, and every ``run_*``
+entry point / CLI command threads an optional ``backend=`` argument down
+to it.  Selection precedence:
+
+1. an explicit ``backend=`` argument (``"reference"`` / ``"fast"``);
+2. the ambient default, set by :func:`set_default_backend`, the
+   :func:`use_backend` context manager, or the ``REPRO_BACKEND``
+   environment variable at import time;
+3. ``"reference"``.
+
+**Never silently diverge.**  When the *explicit* argument names the fast
+backend but the call carries a hook it cannot honor,
+:class:`~repro.perf.fast_network.BackendUnsupported` propagates -- the
+caller asked for something contradictory and must choose.  When the fast
+backend is merely the *ambient default* (e.g. ``REPRO_BACKEND=fast``
+across a whole sweep), such calls fall back to the reference backend
+instead: the two backends are differentially pinned to identical
+results, so the fallback changes wall-clock only, never observables.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from ..congest.network import Network
+from ..congest.node import Program
+from .fast_network import BackendUnsupported, FastNetwork
+
+#: Backend name -> network class.  Both classes share the constructor
+#: signature and the ``run(max_rounds) -> RunMetrics`` contract.
+BACKENDS: Dict[str, Any] = {
+    "reference": Network,
+    "fast": FastNetwork,
+}
+
+_default_backend = "reference"
+
+
+def _validated(name: str) -> str:
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown simulator backend {name!r}; available: "
+            f"{sorted(BACKENDS)}")
+    return name
+
+
+def set_default_backend(name: str) -> None:
+    """Set the ambient backend used when no explicit ``backend=`` is given."""
+    global _default_backend
+    _default_backend = _validated(name)
+
+
+def get_default_backend() -> str:
+    """The ambient backend name (``"reference"`` unless overridden)."""
+    return _default_backend
+
+
+@contextmanager
+def use_backend(name: Optional[str]) -> Iterator[Optional[str]]:
+    """Temporarily switch the ambient default backend::
+
+        with use_backend("fast"):
+            result = run_apsp(g)
+
+    ``use_backend(None)`` is a no-op, so callers threading an *optional*
+    backend choice need no conditional.
+    """
+    global _default_backend
+    if name is None:
+        yield None
+        return
+    prev = _default_backend
+    _default_backend = _validated(name)
+    try:
+        yield name
+    finally:
+        _default_backend = prev
+
+
+#: Constructor kwargs the fast backend cannot honor (when present).
+_FAST_UNSUPPORTED = ("monitor", "tracer")
+
+
+def _fast_supports(kwargs: Dict[str, Any]) -> bool:
+    # `is not None`, not truthiness: a Tracer with no events yet is
+    # falsy (it has __len__), but attaching it still demands the
+    # reference backend.
+    if any(kwargs.get(k) is not None for k in _FAST_UNSUPPORTED):
+        return False
+    if kwargs.get("record_window", 0) > 0:
+        return False
+    # A trivial fault plan is fine (it is the zero-overhead path on the
+    # reference backend too); a real one needs the reference backend.
+    return Network._make_injector(kwargs.get("fault_plan")) is None
+
+
+def make_network(graph: Any, program_factory: Callable[[int], Program],
+                 *, backend: Optional[str] = None, **kwargs: Any):
+    """Construct a simulator network on the selected backend.
+
+    ``backend`` is ``"reference"``, ``"fast"``, or ``None`` (use the
+    ambient default).  See the module docstring for the explicit-vs-
+    ambient rule on hooks the fast backend does not support.
+    """
+    name = _validated(backend) if backend is not None else _default_backend
+    if name == "fast" and backend is None and not _fast_supports(kwargs):
+        name = "reference"  # ambient default only: safe, pinned-identical
+    return BACKENDS[name](graph, program_factory, **kwargs)
+
+
+_env = os.environ.get("REPRO_BACKEND")
+if _env:
+    try:
+        set_default_backend(_env)
+    except ValueError as exc:  # fail loud: a typo'd env var must not
+        raise ValueError(f"REPRO_BACKEND: {exc}") from None  # silently noop
+
+
+__all__ = [
+    "BACKENDS", "BackendUnsupported", "FastNetwork", "make_network",
+    "set_default_backend", "get_default_backend", "use_backend",
+]

@@ -1,0 +1,90 @@
+"""Differential harness pinning the fast simulator backend to the
+reference one.
+
+The fast backend (:class:`repro.perf.FastNetwork`) is only allowed to
+exist because nothing observable distinguishes it from the reference
+:class:`repro.congest.Network`: same per-node outputs, same round
+counts, same message/word/congestion accounting, envelope for envelope.
+This module is the single place that comparison is defined, so the
+Hypothesis property tests (tests/test_differential_backend.py), the
+golden fixtures, and the E19 speedup sweep all enforce the *same*
+notion of "identical".
+
+Two entry points:
+
+* :func:`assert_networks_equivalent` -- construct both backends from one
+  program factory and compare raw network observables (the sharpest
+  check: it sees per-channel counters, not just totals);
+* :func:`assert_entrypoint_equivalent` -- run a ``run_*`` algorithm
+  entry point once per backend via its ``backend=`` keyword and compare
+  result fields plus metrics (the user-visible contract).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Sequence, Tuple
+
+from repro.congest import Network, RunMetrics
+from repro.perf import FastNetwork
+
+
+def metrics_summary(m: RunMetrics) -> Dict[str, Any]:
+    """Every observable :class:`RunMetrics` carries for a fault-free run,
+    including the per-channel and per-node counters -- two executions
+    with equal summaries offered the same load on the same channels in
+    the same number of rounds."""
+    return {
+        "rounds": m.rounds,
+        "active_rounds": m.active_rounds,
+        "skipped_rounds": m.skipped_rounds,
+        "messages": m.messages,
+        "words": m.words,
+        "max_message_words": m.max_message_words,
+        "max_edge_congestion": m.max_edge_congestion,
+        "max_node_sends": m.max_node_sends,
+        "channel_messages": dict(m.channel_messages),
+        "node_sends": dict(m.node_sends),
+    }
+
+
+def assert_metrics_equal(fast: RunMetrics, ref: RunMetrics,
+                         label: str = "") -> None:
+    got, want = metrics_summary(fast), metrics_summary(ref)
+    assert got == want, (
+        f"fast backend diverged from reference on metrics{label and f' ({label})'}: "
+        + "; ".join(f"{k}: fast={got[k]!r} ref={want[k]!r}"
+                    for k in want if got[k] != want[k]))
+
+
+def assert_networks_equivalent(graph, program_factory, *, max_rounds: int,
+                               **kwargs) -> Tuple[Network, FastNetwork]:
+    """Run the same program on both backends; assert equal outputs and
+    equal metrics summaries.  ``program_factory`` is called once per
+    node per backend, so it must build fresh program state each call
+    (every factory in this repo does).  Returns both networks for
+    follow-up assertions."""
+    ref = Network(graph, program_factory, **kwargs)
+    fast = FastNetwork(graph, program_factory, **kwargs)
+    m_ref = ref.run(max_rounds=max_rounds)
+    m_fast = fast.run(max_rounds=max_rounds)
+    assert fast.outputs() == ref.outputs(), \
+        "fast backend diverged from reference on node outputs"
+    assert_metrics_equal(m_fast, m_ref)
+    return ref, fast
+
+
+def assert_entrypoint_equivalent(run: Callable[..., Any], *args,
+                                 compare: Sequence[str] = ("dist",),
+                                 **kwargs) -> Tuple[Any, Any]:
+    """Run ``run(*args, backend=..., **kwargs)`` once per backend and
+    assert the fields named in ``compare`` plus the metrics summary are
+    identical.  Returns ``(reference_result, fast_result)``."""
+    ref = run(*args, backend="reference", **kwargs)
+    fast = run(*args, backend="fast", **kwargs)
+    for attr in compare:
+        got, want = getattr(fast, attr), getattr(ref, attr)
+        assert got == want, (
+            f"fast backend diverged from reference on "
+            f"{run.__name__}().{attr}: fast={got!r} ref={want!r}")
+    assert_metrics_equal(fast.metrics, ref.metrics, label=run.__name__)
+    return ref, fast

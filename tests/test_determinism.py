@@ -86,6 +86,56 @@ def test_fault_seed_changes_execution():
     assert len({repr(s) for s in stats}) > 1  # seeds actually matter
 
 
+def backend_digest(backend):
+    """Pipelined APSP on one backend, reduced to a digest over every
+    measurable observable (distances, rounds, per-channel and per-node
+    counters)."""
+    import hashlib
+
+    g = random_graph(14, p=0.3, w_max=6, zero_fraction=0.3, seed=11)
+    res = run_apsp(g, backend=backend)
+    m = res.metrics
+    blob = repr((res.dist, m.rounds, m.messages, m.words,
+                 m.active_rounds, m.skipped_rounds,
+                 sorted(m.channel_messages.items()),
+                 sorted(m.node_sends.items())))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def test_fast_backend_digest_matches_reference():
+    """The two simulator backends are not merely equivalent-ish: the
+    full observable digest is identical, and stable across runs."""
+    assert backend_digest("fast") == backend_digest("fast")
+    assert backend_digest("fast") == backend_digest("reference")
+
+
+def test_backend_digest_stable_under_pythonhashseed():
+    """The fast backend's worklist must not leak hash ordering (its
+    inbox dicts and heap are the obvious places a set/dict iteration
+    could sneak in).  Same adversarial-subprocess check as the fault
+    digest below."""
+    import os
+    import subprocess
+    import sys
+
+    code = ("from test_determinism import backend_digest; "
+            "print(backend_digest('fast'), backend_digest('reference'))")
+    outputs = set()
+    for hashseed in ("0", "1", "424242"):
+        env = dict(os.environ, PYTHONHASHSEED=hashseed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", ""), "tests") if p)
+        proc = subprocess.run(
+            [sys.executable, "-c", code], cwd=os.path.dirname(
+                os.path.dirname(os.path.abspath(__file__))),
+            env=env, capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        fast, ref = proc.stdout.split()
+        assert fast == ref
+        outputs.add(proc.stdout.strip())
+    assert len(outputs) == 1, f"hash-seed-dependent executions: {outputs}"
+
+
 def test_fault_digest_stable_under_pythonhashseed():
     """The digest survives PYTHONHASHSEED changes: fault coin flips are
     SHA-256-derived, never ``hash()``-derived.  Run the same digest in

@@ -1,0 +1,225 @@
+"""Contract tests for the fast simulator backend beyond the
+differential harness: constructor parity, hook refusal, resumption,
+registry publishing, and backend selection semantics."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.congest import Network, RoundLimitExceeded
+from repro.faults import FaultPlan
+from repro.obs import MetricsRegistry, Tracer
+from repro.perf import (
+    BackendUnsupported,
+    FastNetwork,
+    get_default_backend,
+    make_network,
+    set_default_backend,
+    use_backend,
+)
+from test_congest_network import Pinger, Relay, line
+
+
+class TestConstructorParity:
+    """Invalid arguments produce the *same* error text on both backends,
+    so swapping backends never changes what a user debugging a bad call
+    sees."""
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_message_words": 0},
+        {"channel_capacity": 0},
+        {"record_window": -1},
+    ])
+    def test_same_validation_message(self, kwargs):
+        with pytest.raises(ValueError) as ref_exc:
+            Network(line(3), Relay, **kwargs)
+        with pytest.raises(ValueError) as fast_exc:
+            FastNetwork(line(3), Relay, **kwargs)
+        assert str(fast_exc.value) == str(ref_exc.value)
+
+    def test_same_nodeless_graph_message(self):
+        class NoNodes:
+            n = 0
+
+        with pytest.raises(ValueError) as ref_exc:
+            Network(NoNodes(), Relay)
+        with pytest.raises(ValueError) as fast_exc:
+            FastNetwork(NoNodes(), Relay)
+        assert str(fast_exc.value) == str(ref_exc.value)
+
+
+class TestHookRefusal:
+    """Unsupported hooks raise at construction -- never a mid-run
+    surprise, never a silently uninstrumented execution."""
+
+    def test_monitor_refused(self):
+        with pytest.raises(BackendUnsupported, match="monitor"):
+            FastNetwork(line(3), Relay, monitor=object())
+
+    def test_tracer_refused(self):
+        with pytest.raises(BackendUnsupported, match="tracer"):
+            FastNetwork(line(3), Relay, tracer=Tracer())
+
+    def test_record_window_refused(self):
+        with pytest.raises(BackendUnsupported, match="record_window"):
+            FastNetwork(line(3), Relay, record_window=4)
+
+    def test_real_fault_plan_refused(self):
+        with pytest.raises(BackendUnsupported, match="fault"):
+            FastNetwork(line(3), Relay,
+                        fault_plan=FaultPlan(seed=1, drop_rate=0.5))
+
+    def test_trivial_fault_plan_accepted(self):
+        """An all-zero plan injects nothing -- the reference backend
+        treats it as the zero-overhead path and so does the fast one."""
+        net = FastNetwork(line(3), Pinger, fault_plan=FaultPlan())
+        m = net.run(max_rounds=10)
+        assert m.messages == 1
+
+    def test_error_points_at_reference_backend(self):
+        with pytest.raises(BackendUnsupported, match="reference"):
+            FastNetwork(line(3), Relay, tracer=Tracer())
+
+
+class TestResumption:
+    """Same absolute-``max_rounds`` re-entry contract as the reference
+    backend (satellite: RoundLimitExceeded resumption)."""
+
+    def test_interrupted_run_resumes_to_same_result(self):
+        n = 6
+        net = FastNetwork(line(n), Relay)
+        with pytest.raises(RoundLimitExceeded) as exc:
+            net.run(max_rounds=2)  # token is only 2 hops in
+        assert exc.value.post_mortem is not None
+        net.run(max_rounds=20)     # absolute budget; resumes at round 3
+        fresh = Network(line(n), Relay)
+        fm = fresh.run(max_rounds=20)
+        assert [net.output_of(v) for v in range(n)] == \
+               [fresh.output_of(v) for v in range(n)]
+        assert (net.metrics.rounds, net.metrics.messages,
+                net.metrics.active_rounds, net.metrics.skipped_rounds) == \
+               (fm.rounds, fm.messages, fm.active_rounds, fm.skipped_rounds)
+
+    def test_quiescent_rerun_is_noop(self):
+        net = FastNetwork(line(4), Relay)
+        m = net.run(max_rounds=100)
+        m2 = net.run(max_rounds=100)
+        assert m2 is m
+        assert (m2.rounds, m2.messages) == (3, 3)
+
+    def test_programs_started_exactly_once(self):
+        starts = []
+
+        class CountingPinger(Pinger):
+            def on_start(self, ctx):
+                starts.append(ctx.node)
+
+        net = FastNetwork(line(3), CountingPinger)
+        with pytest.raises(RoundLimitExceeded):
+            net.run(max_rounds=0)
+        net.run(max_rounds=10)
+        net.run(max_rounds=10)
+        assert starts == [0, 1, 2]
+
+
+class TestRegistrySupport:
+    """The one network-side hook the fast backend does honor."""
+
+    def test_publishes_run_metrics(self):
+        reg = MetricsRegistry()
+        net = FastNetwork(line(4), Relay, registry=reg)
+        m = net.run(max_rounds=20)
+        assert reg.counter_total("congest.messages") == m.messages
+        assert reg.counter_total("congest.rounds") == m.rounds
+        # per-round wall-clock lands in the same histogram the
+        # reference backend uses, one observation per executed round
+        ref_reg = MetricsRegistry()
+        Network(line(4), Relay, registry=ref_reg).run(max_rounds=20)
+        (ref_hist,) = ref_reg.histograms("congest.round_wall_s")
+        (fast_hist,) = reg.histograms("congest.round_wall_s")
+        assert fast_hist.count == ref_hist.count
+
+    def test_republish_is_delta_based(self):
+        reg = MetricsRegistry()
+        net = FastNetwork(line(4), Relay, registry=reg)
+        m = net.run(max_rounds=20)
+        net.run(max_rounds=20)  # quiescent re-run must not double-count
+        assert reg.counter_total("congest.messages") == m.messages
+
+    def test_matches_reference_registry_numbers(self):
+        ref_reg, fast_reg = MetricsRegistry(), MetricsRegistry()
+        Network(line(5), Relay, registry=ref_reg).run(max_rounds=20)
+        FastNetwork(line(5), Relay, registry=fast_reg).run(max_rounds=20)
+        ref_snap = ref_reg.snapshot()
+        fast_snap = fast_reg.snapshot()
+        # wall-clock histograms differ in timings by construction; the
+        # counts must agree
+        for snap in (ref_snap, fast_snap):
+            snap.get("histograms", snap).pop("congest.round_wall_s", None)
+        assert fast_snap == ref_snap
+
+
+class TestBackendSelection:
+    def test_default_is_reference(self):
+        assert get_default_backend() == "reference"
+        assert isinstance(make_network(line(3), Relay), Network)
+
+    def test_explicit_fast(self):
+        assert isinstance(make_network(line(3), Relay, backend="fast"),
+                          FastNetwork)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown simulator backend"):
+            make_network(line(3), Relay, backend="turbo")
+
+    def test_explicit_fast_with_unsupported_hook_raises(self):
+        with pytest.raises(BackendUnsupported):
+            make_network(line(3), Relay, backend="fast", tracer=Tracer())
+
+    def test_ambient_fast_with_unsupported_hook_falls_back(self):
+        with use_backend("fast"):
+            net = make_network(line(3), Relay, tracer=Tracer())
+        assert isinstance(net, Network)
+
+    def test_ambient_fast_without_hooks_sticks(self):
+        with use_backend("fast"):
+            assert isinstance(make_network(line(3), Relay), FastNetwork)
+        assert get_default_backend() == "reference"
+
+    def test_use_backend_none_is_noop(self):
+        with use_backend(None):
+            assert get_default_backend() == "reference"
+
+    def test_set_default_backend_validates(self):
+        with pytest.raises(ValueError, match="unknown simulator backend"):
+            set_default_backend("turbo")
+        assert get_default_backend() == "reference"
+
+
+class TestEnvSelection:
+    """REPRO_BACKEND picks the ambient default at import time; a typo
+    fails the import loudly instead of silently simulating on the wrong
+    backend."""
+
+    def _run(self, value):
+        env = dict(os.environ, REPRO_BACKEND=value)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p)
+        return subprocess.run(
+            [sys.executable, "-c",
+             "from repro.perf import get_default_backend; "
+             "print(get_default_backend())"],
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            env=env, capture_output=True, text=True, timeout=120)
+
+    def test_env_fast(self):
+        proc = self._run("fast")
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "fast"
+
+    def test_env_typo_fails_loud(self):
+        proc = self._run("fasst")
+        assert proc.returncode != 0
+        assert "REPRO_BACKEND" in proc.stderr

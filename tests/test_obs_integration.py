@@ -156,7 +156,7 @@ class TestObsCLI:
 
         rounds = {"value": 10}
 
-        def fake_suite():
+        def fake_suite(jobs=1, backend=None):
             rep = ExperimentReport("EX", "fake")
             rep.add({"n": 8}, measured=rounds["value"])
             return [rep]
