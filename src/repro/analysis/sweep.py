@@ -180,56 +180,94 @@ def sweep_backend_speedup(*, sizes: Sequence[int] = (768, 1536), w: int = 4,
     reference then the fast backend, and each backend keeps its fastest
     repeat), which suppresses one-sided scheduler noise on loaded CI
     machines.  Every row also differentially re-checks the two runs --
-    identical distances, round counts, and message totals -- so a
-    speedup number can never come from the backends quietly computing
-    different things.
+    identical distances, round counts, message totals, fault statistics,
+    and trace streams -- so a speedup number can never come from the
+    backends quietly computing different things.
+
+    Each size produces two rows: ``hooks="none"`` (the plain zero-hook
+    delivery path) and ``hooks="full"`` (seeded fault plan + tracer +
+    ring recorder attached to both backends), because the fast backend
+    takes a different, instrumented delivery loop once any hook is
+    present -- the speedup that matters to a fault experiment is the
+    instrumented one.
 
     ``measured`` is the speedup (reference seconds / fast seconds);
     ``bound`` is left ``None`` because :class:`Measurement.within_bound`
     tests ``measured <= bound`` and a speedup gate needs ``>=`` -- the
     gate lives in ``benchmarks/bench_backend_speedup.py`` (CI fails
-    below 2x at the largest size).
+    below 2x plain / 1.5x instrumented at the largest size).
     """
+    from ..faults import CrashWindow, FaultPlan
     from ..graphs.reference import weak_delta_bound
+    from ..obs import Tracer
 
     rep = report or ExperimentReport(
         "E19", "Backend speedup: fast vs reference wall-clock on the "
-               "Theorem I.1 pipelined schedule (path graphs)")
+               "Theorem I.1 pipelined schedule (path graphs), with and "
+               "without instrumentation hooks attached")
+    # The instrumented plan must be *schedule-preserving*: Algorithm 1's
+    # provable pipeline is exactly what is being timed, and a delayed or
+    # corrupted entry trips the program's own Invariant 1 assertion (the
+    # algorithm is not fault tolerant -- that is E4's subject, not
+    # E19's).  A crash window far past quiescence injects nothing yet
+    # routes every envelope through the injector's full offer/
+    # deliverable machinery, which is the overhead being measured.
+    plan = FaultPlan(seed=1, crashes=(CrashWindow(0, 1_000_000_000),))
     for n in sizes:
         g = path_graph(n, w=w)
         h = n - 1
         delta = weak_delta_bound(g, [0], h)
-        ref_s = fast_s = math.inf
-        ref_res = fast_res = None
-        for _ in range(max(1, repeats)):
-            t0 = time.perf_counter()
-            r = run_hk_ssp(g, [0], h, delta, backend="reference")
-            dt = time.perf_counter() - t0
-            if dt < ref_s:
-                ref_s, ref_res = dt, r
-            t0 = time.perf_counter()
-            f = run_hk_ssp(g, [0], h, delta, backend="fast")
-            dt = time.perf_counter() - t0
-            if dt < fast_s:
-                fast_s, fast_res = dt, f
-        if ref_res.dist != fast_res.dist:
-            raise AssertionError(
-                f"E19 n={n}: backends disagree on distances -- speedup "
-                f"numbers would be meaningless (differential harness "
-                f"escape, see tests/differential.py)")
-        if (ref_res.metrics.rounds != fast_res.metrics.rounds
-                or ref_res.metrics.messages != fast_res.metrics.messages):
-            raise AssertionError(
-                f"E19 n={n}: backends disagree on metrics "
-                f"(rounds {ref_res.metrics.rounds} vs "
-                f"{fast_res.metrics.rounds}, messages "
-                f"{ref_res.metrics.messages} vs {fast_res.metrics.messages})")
-        rep.add({"n": n, "w": w, "Delta": delta},
-                measured=round(ref_s / fast_s, 2),
-                ref_s=round(ref_s, 4),
-                fast_s=round(fast_s, 4),
-                rounds=ref_res.metrics.rounds,
-                messages=ref_res.metrics.messages)
+        for hooks in ("none", "full"):
+
+            def timed(backend):
+                tracer = Tracer() if hooks == "full" else None
+                t0 = time.perf_counter()
+                r = run_hk_ssp(
+                    g, [0], h, delta, backend=backend,
+                    fault_plan=plan if hooks == "full" else None,
+                    tracer=tracer,
+                    record_window=3 if hooks == "full" else 0,
+                    max_rounds=40 * (n + 2) + 200)
+                return time.perf_counter() - t0, r, tracer
+
+            ref_s = fast_s = math.inf
+            ref_res = fast_res = None
+            ref_tr = fast_tr = None
+            for _ in range(max(1, repeats)):
+                dt, r, tr = timed("reference")
+                if dt < ref_s:
+                    ref_s, ref_res, ref_tr = dt, r, tr
+                dt, f, tr = timed("fast")
+                if dt < fast_s:
+                    fast_s, fast_res, fast_tr = dt, f, tr
+            if ref_res.dist != fast_res.dist:
+                raise AssertionError(
+                    f"E19 n={n} hooks={hooks}: backends disagree on "
+                    f"distances -- speedup numbers would be meaningless "
+                    f"(differential harness escape, see "
+                    f"tests/differential.py)")
+            if (ref_res.metrics.rounds != fast_res.metrics.rounds
+                    or ref_res.metrics.messages != fast_res.metrics.messages
+                    or ref_res.metrics.faults != fast_res.metrics.faults):
+                raise AssertionError(
+                    f"E19 n={n} hooks={hooks}: backends disagree on "
+                    f"metrics (rounds {ref_res.metrics.rounds} vs "
+                    f"{fast_res.metrics.rounds}, messages "
+                    f"{ref_res.metrics.messages} vs "
+                    f"{fast_res.metrics.messages}, faults "
+                    f"{dict(ref_res.metrics.faults)} vs "
+                    f"{dict(fast_res.metrics.faults)})")
+            if hooks == "full" and ref_tr.events != fast_tr.events:
+                raise AssertionError(
+                    f"E19 n={n}: backends disagree on the trace event "
+                    f"stream ({len(ref_tr.events)} vs "
+                    f"{len(fast_tr.events)} events)")
+            rep.add({"n": n, "w": w, "Delta": delta, "hooks": hooks},
+                    measured=round(ref_s / fast_s, 2),
+                    ref_s=round(ref_s, 4),
+                    fast_s=round(fast_s, 4),
+                    rounds=ref_res.metrics.rounds,
+                    messages=ref_res.metrics.messages)
     return rep
 
 

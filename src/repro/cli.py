@@ -26,9 +26,10 @@ Commands operate on graph files in the plain-text format of
 
 Simulation commands accept ``--backend reference|fast`` to pick the
 CONGEST simulator backend (:mod:`repro.perf.backends`); the fast backend
-is differentially pinned to the reference one, but refuses hooks it
-cannot honor (tracing, fault injection) with a clear error instead of
-silently diverging.
+honors the full hook surface (fault injection, invariant monitoring,
+tracing, metrics, event recording) and is differentially pinned to the
+reference one on every hook observation, so backend choice is purely a
+wall-clock decision.
 """
 
 from __future__ import annotations
@@ -269,12 +270,14 @@ def cmd_faults(args, out) -> int:
     try:
         if args.algorithm == "bellman-ford":
             res = run_bellman_ford(g, args.source, fault_plan=plan,
-                                   resilient=resilient, timeout=args.timeout)
+                                   resilient=resilient, timeout=args.timeout,
+                                   backend=args.backend)
             contract = [True] * g.n
         else:
             h = args.hops if args.hops else max(1, g.n - 1)
             res = run_short_range(g, args.source, h, fault_plan=plan,
-                                  resilient=resilient, timeout=args.timeout)
+                                  resilient=resilient, timeout=args.timeout,
+                                  backend=args.backend)
             contract = [res.hops[v] <= h for v in range(g.n)]
     except (RoundLimitExceeded, InvariantViolation) as exc:
         # A permanent crash never quiesces (retransmission to a dead
@@ -348,12 +351,11 @@ def cmd_obs(args, out) -> int:
             if args.sources else None
 
         def execute():
-            # obs run always attaches a tracer, which the fast backend
-            # refuses rather than silently not tracing: --backend fast
-            # raises BackendUnsupported on the single-network methods;
-            # the multi-phase blocker method runs it as the ambient
-            # default instead, so its traced phases fall back to the
-            # reference backend (results pinned identical).
+            # obs run always attaches a tracer; both backends honor it
+            # (differentially pinned to identical event streams), so
+            # --backend fast traces at fast-backend speed.  The
+            # multi-phase blocker method takes the backend as the
+            # ambient default rather than a per-call argument.
             if sources is None:
                 return api_apsp(g, method=args.method, tracer=tracer,
                                 registry=registry, backend=args.backend)
@@ -522,6 +524,7 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--timeout", type=int, default=4,
                    help="retransmission timeout in rounds")
     f.add_argument("-q", "--quiet", action="store_true")
+    _add_backend_flag(f)
     f.set_defaults(func=cmd_faults)
 
     o = sub.add_parser(

@@ -323,8 +323,14 @@ class Network:
                     programs[v].on_receive(contexts[v], r, inbox)
 
                 # --- reschedule ---------------------------------------------
-                touched = set(senders)
-                touched.update(receivers)
+                # Insertion-ordered, not a set: senders in increasing
+                # node order, then receivers in increasing node order.
+                # ``next_active_round`` is queried in exactly this order
+                # on every backend, so a callback with side effects
+                # cannot make executions diverge across backends or
+                # ``PYTHONHASHSEED``.
+                touched = dict.fromkeys(senders)
+                touched.update(dict.fromkeys(receivers))
                 for v in touched:
                     next_round[v] = programs[v].next_active_round(contexts[v], r)
 

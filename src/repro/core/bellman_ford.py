@@ -141,7 +141,7 @@ def run_bellman_ford(graph: WeightedDigraph, source: int, *,
             from ..faults.resilient import run_resilient
             outs, metrics, _ = run_resilient(
                 graph, factory, max_rounds, timeout=timeout,
-                fault_plan=fault_plan, monitor=monitor)
+                fault_plan=fault_plan, monitor=monitor, backend=backend)
             if registry is not None:
                 # run_resilient owns its Network; mirror the result here.
                 from ..obs.registry import publish_run_metrics

@@ -216,7 +216,7 @@ def run_short_range(graph: WeightedDigraph, source: int, h: int,
             from ..faults.resilient import run_resilient
             outs, metrics, _ = run_resilient(
                 graph, factory, max_rounds, timeout=timeout,
-                fault_plan=fault_plan, monitor=monitor)
+                fault_plan=fault_plan, monitor=monitor, backend=backend)
             if registry is not None:
                 from ..obs.registry import publish_run_metrics
                 publish_run_metrics(registry, metrics)

@@ -39,7 +39,6 @@ from collections import deque
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..congest.message import Envelope
-from ..congest.network import Network
 from ..congest.node import NodeContext, Program
 
 _DATA = "D"
@@ -303,6 +302,7 @@ def run_resilient(graph: Any, program_factory: Callable[[int], Program],
                   max_backoff: int = 64, ack_batch: int = 4,
                   max_retries: Optional[int] = None,
                   max_message_words: int = 8,
+                  backend: Optional[str] = None,
                   **network_kwargs: Any):
     """Run *program_factory*'s programs wrapped in
     :class:`ResilientProgram` and fold the protocol overhead into the
@@ -312,7 +312,9 @@ def run_resilient(graph: Any, program_factory: Callable[[int], Program],
     frame overhead, so the *inner* algorithm still lives under its
     original CONGEST budget.  Accepts the same keyword arguments as
     :class:`~repro.congest.network.Network` (notably ``fault_plan`` and
-    ``monitor``).  Returns ``(outputs, metrics, network)`` like
+    ``monitor``), plus ``backend`` to select the simulator backend
+    (``None`` = ambient default, see :mod:`repro.perf.backends`).
+    Returns ``(outputs, metrics, network)`` like
     :func:`~repro.congest.network.run_program`, with
     ``metrics.retransmissions`` / ``metrics.ack_messages`` filled in.
     """
@@ -325,8 +327,10 @@ def run_resilient(graph: Any, program_factory: Callable[[int], Program],
         wrappers.append(w)
         return w
 
+    from ..perf.backends import make_network
     budget = max_message_words + ResilientProgram.frame_overhead_words(ack_batch)
-    net = Network(graph, factory, max_message_words=budget, **network_kwargs)
+    net = make_network(graph, factory, backend=backend,
+                       max_message_words=budget, **network_kwargs)
     try:
         metrics = net.run(max_rounds=max_rounds)
     finally:

@@ -6,10 +6,13 @@ correctness for wall-clock silently*:
 * :class:`FastNetwork` (selected via ``backend="fast"``, ambiently via
   :func:`set_default_backend` / ``REPRO_BACKEND=fast``) replaces the
   reference simulator's per-round whole-network scans with an
-  event-driven active-node worklist; it is differentially pinned to
-  produce bit-identical outputs and :class:`~repro.congest.metrics.
-  RunMetrics` (``tests/differential.py``), and raises
-  :class:`BackendUnsupported` for hooks it cannot honor.
+  event-driven active-node worklist; it honors the full hook surface
+  (fault injection, monitoring, tracing, metrics, event recording) and
+  is differentially pinned to produce bit-identical outputs,
+  :class:`~repro.congest.metrics.RunMetrics`, fault statistics, trace
+  streams, and post-mortems (``tests/differential.py``).
+  :class:`BackendUnsupported` remains public API for future backend
+  limitations; nothing raises it today.
 * :class:`SweepExecutor` fans seed-major parameter sweeps across
   ``multiprocessing`` workers and merges the rows back in task order,
   reproducing the sequential reports exactly

@@ -2,13 +2,26 @@
 
 Two interchangeable CONGEST simulator backends exist:
 
-* ``"reference"`` -- :class:`repro.congest.network.Network`, the fully
-  instrumented simulator (fault injection, invariant monitors, tracers,
-  post-mortem event recording);
+* ``"reference"`` -- :class:`repro.congest.network.Network`, the
+  straight-line reference simulator;
 * ``"fast"`` -- :class:`repro.perf.fast_network.FastNetwork`, the
   event-driven worklist backend, differentially tested to be
-  bit-identical on outputs and :class:`~repro.congest.metrics.RunMetrics`
-  but supporting only the ``registry`` hook.
+  bit-identical on outputs, :class:`~repro.congest.metrics.RunMetrics`,
+  fault statistics, trace event streams, and post-mortems.
+
+Both backends support the full hook surface (``fault_plan``,
+``monitor``, ``tracer``, ``registry``, ``record_window``), so backend
+choice is purely a wall-clock decision: there is no hook combination
+that forces one backend, and the unsupported set is empty.  (Historical
+note: the fast backend originally refused the instrumentation hooks
+with :class:`~repro.perf.fast_network.BackendUnsupported`, and ambient
+selection silently fell back to the reference backend for instrumented
+calls.  Both the refusal and the fallback are gone; the exception class
+remains public API so any future backend limitation can keep the
+explicit-vs-ambient rule: an *explicit* ``backend=`` request that
+cannot be honored must raise, never silently degrade, while an
+*ambient* default may fall back only to a differentially-pinned
+equivalent.)
 
 Call sites in :mod:`repro.core` construct networks through
 :func:`make_network` instead of naming a class, and every ``run_*``
@@ -16,19 +29,16 @@ entry point / CLI command threads an optional ``backend=`` argument down
 to it.  Selection precedence:
 
 1. an explicit ``backend=`` argument (``"reference"`` / ``"fast"``);
-2. the ambient default, set by :func:`set_default_backend`, the
-   :func:`use_backend` context manager, or the ``REPRO_BACKEND``
-   environment variable at import time;
-3. ``"reference"``.
+2. the ambient default, set by :func:`set_default_backend` or the
+   :func:`use_backend` context manager;
+3. the ``REPRO_BACKEND`` environment variable;
+4. ``"reference"``.
 
-**Never silently diverge.**  When the *explicit* argument names the fast
-backend but the call carries a hook it cannot honor,
-:class:`~repro.perf.fast_network.BackendUnsupported` propagates -- the
-caller asked for something contradictory and must choose.  When the fast
-backend is merely the *ambient default* (e.g. ``REPRO_BACKEND=fast``
-across a whole sweep), such calls fall back to the reference backend
-instead: the two backends are differentially pinned to identical
-results, so the fallback changes wall-clock only, never observables.
+``REPRO_BACKEND`` is validated *lazily*, at the first
+:func:`make_network` / :func:`get_default_backend` call, not at import
+time: a typo'd value must produce a clear error naming the bad value at
+the point a simulation is actually requested, without making the
+package (or ``repro --help``) unimportable.
 """
 
 from __future__ import annotations
@@ -48,7 +58,9 @@ BACKENDS: Dict[str, Any] = {
     "fast": FastNetwork,
 }
 
-_default_backend = "reference"
+#: The ambient default; ``None`` means "not chosen yet" -- resolved
+#: lazily from ``REPRO_BACKEND`` (then ``"reference"``) on first use.
+_default_backend: Optional[str] = None
 
 
 def _validated(name: str) -> str:
@@ -59,6 +71,26 @@ def _validated(name: str) -> str:
     return name
 
 
+def _resolved_default() -> str:
+    """The ambient default, resolving ``REPRO_BACKEND`` on first use.
+
+    Deferred validation is the point: a bad environment value raises
+    here -- naming the variable and the value, at the moment a backend
+    is actually needed -- rather than poisoning ``import repro``.
+    """
+    global _default_backend
+    if _default_backend is None:
+        env = os.environ.get("REPRO_BACKEND")
+        if env:
+            try:
+                _default_backend = _validated(env)
+            except ValueError as exc:
+                raise ValueError(f"REPRO_BACKEND: {exc}") from None
+        else:
+            _default_backend = "reference"
+    return _default_backend
+
+
 def set_default_backend(name: str) -> None:
     """Set the ambient backend used when no explicit ``backend=`` is given."""
     global _default_backend
@@ -66,8 +98,10 @@ def set_default_backend(name: str) -> None:
 
 
 def get_default_backend() -> str:
-    """The ambient backend name (``"reference"`` unless overridden)."""
-    return _default_backend
+    """The ambient backend name (``"reference"`` unless overridden by
+    :func:`set_default_backend`, :func:`use_backend`, or
+    ``REPRO_BACKEND``)."""
+    return _resolved_default()
 
 
 @contextmanager
@@ -84,7 +118,7 @@ def use_backend(name: Optional[str]) -> Iterator[Optional[str]]:
     if name is None:
         yield None
         return
-    prev = _default_backend
+    prev = _default_backend  # possibly None: restore the unresolved state
     _default_backend = _validated(name)
     try:
         yield name
@@ -92,43 +126,16 @@ def use_backend(name: Optional[str]) -> Iterator[Optional[str]]:
         _default_backend = prev
 
 
-#: Constructor kwargs the fast backend cannot honor (when present).
-_FAST_UNSUPPORTED = ("monitor", "tracer")
-
-
-def _fast_supports(kwargs: Dict[str, Any]) -> bool:
-    # `is not None`, not truthiness: a Tracer with no events yet is
-    # falsy (it has __len__), but attaching it still demands the
-    # reference backend.
-    if any(kwargs.get(k) is not None for k in _FAST_UNSUPPORTED):
-        return False
-    if kwargs.get("record_window", 0) > 0:
-        return False
-    # A trivial fault plan is fine (it is the zero-overhead path on the
-    # reference backend too); a real one needs the reference backend.
-    return Network._make_injector(kwargs.get("fault_plan")) is None
-
-
 def make_network(graph: Any, program_factory: Callable[[int], Program],
                  *, backend: Optional[str] = None, **kwargs: Any):
     """Construct a simulator network on the selected backend.
 
     ``backend`` is ``"reference"``, ``"fast"``, or ``None`` (use the
-    ambient default).  See the module docstring for the explicit-vs-
-    ambient rule on hooks the fast backend does not support.
+    ambient default).  Every hook kwarg is honored by every backend, so
+    selection never depends on the hooks a call carries.
     """
-    name = _validated(backend) if backend is not None else _default_backend
-    if name == "fast" and backend is None and not _fast_supports(kwargs):
-        name = "reference"  # ambient default only: safe, pinned-identical
+    name = _validated(backend) if backend is not None else _resolved_default()
     return BACKENDS[name](graph, program_factory, **kwargs)
-
-
-_env = os.environ.get("REPRO_BACKEND")
-if _env:
-    try:
-        set_default_backend(_env)
-    except ValueError as exc:  # fail loud: a typo'd env var must not
-        raise ValueError(f"REPRO_BACKEND: {exc}") from None  # silently noop
 
 
 __all__ = [

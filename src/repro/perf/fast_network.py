@@ -36,24 +36,39 @@ tuple allocation; the persistent ``channel_messages`` Counter keeps its
 public tuple keys).
 
 Equivalence is *pinned*, not hoped for: ``tests/differential.py`` runs
-both backends on the same seeded programs and asserts identical outputs,
-round counts, and message statistics, over Hypothesis-generated graphs
-and the committed golden fixtures (see docs/PERFORMANCE.md).
+both backends on the same seeded programs -- including fault-injected,
+monitored, traced, and event-recorded runs -- and asserts identical
+outputs, round counts, message statistics, fault statistics, trace
+event streams, and post-mortems, over Hypothesis-generated graphs and
+the committed golden fixtures (see docs/PERFORMANCE.md).
 
 Hook support
 ------------
-The fast path runs the same :class:`~repro.congest.node.Program` /
-:class:`~repro.congest.node.NodeContext` objects as the reference
-backend, so *algorithm-side* tracing keeps working.  Network-side hooks:
+All four network-side hooks of the reference backend are honored, at
+the same event points with the same arguments:
 
-* ``registry`` -- supported (per-round wall-clock histogram + final
-  ``publish_run_metrics`` mirror, delta-based across resumes);
-* ``fault_plan`` (non-trivial), ``monitor``, ``tracer``,
-  ``record_window > 0`` -- **not** supported: they raise
-  :class:`BackendUnsupported` at construction with a pointer to the
-  reference backend.  Raising instead of ignoring is the contract --
-  the fast backend must never silently diverge from what the reference
-  backend would have observed or injected.
+* ``fault_plan`` -- the :class:`~repro.faults.plan.FaultInjector`
+  ``offer`` / ``take_due`` / ``deliverable`` protocol runs in the
+  delivery phase exactly as in the reference loop, and in-flight
+  (delayed / duplicated) envelopes act as wake-up sources: every
+  scheduling decision takes ``min`` over the worklist heap *and*
+  ``injector.earliest_in_flight()``, mirroring the reference backend's
+  ``pending`` list, so a delivery-only round executes at the same round
+  number on both backends;
+* ``monitor`` -- called after each executed round's receive phase with
+  the sent-or-received node ids, post-mortem attached to violations;
+* ``tracer`` -- ``net.send`` per enforced message, ``net.round`` per
+  executed round, and (via the injector) one ``fault`` event per
+  injected fault, in the reference backend's emission order;
+* ``record_window > 0`` -- the same bounded
+  :class:`~repro.congest.events.RingTraceRecorder` on ``self.trace``
+  that the post-mortem builder reads;
+* ``registry`` -- per-round wall-clock histogram + final
+  ``publish_run_metrics`` mirror, delta-based across resumes.
+
+The zero-hook path stays the tight loop the speedup gate measures: the
+instrumented branches are selected once per ``run`` and cost one local
+``is None`` test per round when disabled.
 """
 
 from __future__ import annotations
@@ -73,30 +88,25 @@ _SRC = attrgetter("src")
 
 
 class BackendUnsupported(RuntimeError):
-    """A hook the fast backend cannot honor was requested.
+    """A hook combination a backend cannot honor was requested.
 
-    The fast backend refuses rather than degrades: running without a
-    requested fault injector / monitor / tracer would produce an
-    execution the caller believes is instrumented or faulty but is not.
-    Use the reference backend (``backend="reference"``) for those runs.
+    Since the fast backend gained full hook support there is no
+    combination it refuses -- nothing in the repo raises this today.
+    The class remains public API: callers (the CLI among them) catch it
+    so that any *future* backend limitation degrades into a clean error
+    instead of a silently uninstrumented run, which remains the
+    contract -- a backend must never quietly diverge from what the
+    requested instrumentation would have observed or injected.
     """
-
-
-def _unsupported(hook: str) -> BackendUnsupported:
-    return BackendUnsupported(
-        f"{hook} is not supported by the fast simulator backend; "
-        f"use the reference backend (repro.congest.Network / "
-        f"backend='reference') for instrumented or fault-injected runs")
 
 
 class FastNetwork:
     """Drop-in fast backend for :class:`repro.congest.network.Network`.
 
-    Accepts the same constructor arguments and raises the same
-    validation errors; see the reference class for parameter semantics.
-    Unsupported hooks (non-trivial ``fault_plan``, ``monitor``,
-    ``tracer``, ``record_window > 0``) raise :class:`BackendUnsupported`
-    here, at construction, never mid-run.
+    Accepts the same constructor arguments, raises the same validation
+    errors, and honors the same hooks (``fault_plan``, ``monitor``,
+    ``tracer``, ``registry``, ``record_window``); see the reference
+    class for parameter semantics.
     """
 
     def __init__(self, graph: Any,
@@ -127,30 +137,24 @@ class FastNetwork:
         if record_window < 0:
             raise ValueError(
                 f"record_window must be >= 0 rounds, got {record_window}")
-        # Reuse the reference backend's plan normalisation so a trivial
-        # (all-zero) FaultPlan is accepted on the fast path exactly like
-        # the reference's zero-overhead path, and the same TypeError
-        # fires on bad arguments.
-        if Network._make_injector(fault_plan) is not None:
-            raise _unsupported("fault injection (a non-trivial fault_plan)")
-        if monitor is not None:
-            raise _unsupported("invariant monitoring (monitor)")
-        if tracer is not None:
-            raise _unsupported("network-event tracing (tracer)")
-        if record_window > 0:
-            raise _unsupported("post-mortem event recording (record_window)")
         self.graph = graph
         self.n = n
         self.max_message_words = max_message_words
         self.channel_capacity = channel_capacity
-        #: Kept for duck-type parity with the reference backend (the
-        #: post-mortem builder and tests read these).
-        self.fault_injector = None
-        self.monitor = None
-        self.tracer = None
+        self.monitor = monitor
+        self.tracer = tracer
         self.registry = registry
-        self.record_window = 0
+        self.record_window = record_window
+        # Reuse the reference backend's plan normalisation: a trivial
+        # (all-zero) FaultPlan takes the zero-overhead path, and the
+        # same TypeError fires on bad arguments.
+        self.fault_injector = Network._make_injector(fault_plan)
+        if self.fault_injector is not None and tracer is not None:
+            self.fault_injector.tracer = tracer
         self.trace = None
+        if record_window > 0:
+            from ..congest.events import RingTraceRecorder
+            self.trace = RingTraceRecorder(record_window)
         self.programs: List[Program] = []
         self.contexts: List[NodeContext] = []
         for v in range(n):
@@ -186,11 +190,16 @@ class FastNetwork:
         """
         n = self.n
         programs, contexts = self.programs, self.contexts
-        registry = self.registry
+        injector, monitor, recorder = \
+            self.fault_injector, self.monitor, self.trace
+        tracer, registry = self.tracer, self.registry
         profile = _HOT.session
         timed = registry is not None or profile is not None
         round_hist = None if registry is None else registry.histogram(
             "congest.round_wall_s", scale=1e-6)
+        # The zero-hook delivery loop is kept branch-free; any of these
+        # hooks routes envelopes through the instrumented loop instead.
+        plain = (injector is None and recorder is None and tracer is None)
         if not self._started:
             for v in range(n):
                 programs[v].on_start(contexts[v])
@@ -200,7 +209,9 @@ class FastNetwork:
         # (None = quiescent); heap holds (round, v) entries, possibly
         # stale -- an entry is live iff it matches sched[v].  Rebuilt
         # from the programs at every run() entry, like the reference
-        # backend re-derives its schedule on resumption.
+        # backend re-derives its schedule on resumption.  In-flight
+        # envelopes held by the fault injector are the other wake-up
+        # source; the next round is the min over both.
         sched: List[Optional[int]] = [None] * n
         heap: List = []
         base = self._round
@@ -225,11 +236,23 @@ class FastNetwork:
         words_total = 0
         max_msg_words = metrics.max_message_words
         try:
-            while heap:
-                r, top = heap[0]
-                if sched[top] != r:
-                    pop(heap)  # stale entry from a reschedule
-                    continue
+            while True:
+                # Surface the next live schedule entry (lazy deletion).
+                while heap and sched[heap[0][1]] != heap[0][0]:
+                    pop(heap)
+                if injector is None:
+                    if not heap:
+                        break
+                    r = heap[0][0]
+                else:
+                    due = injector.earliest_in_flight()
+                    if heap:
+                        r = heap[0][0] if due is None \
+                            else min(heap[0][0], due)
+                    elif due is not None:
+                        r = due
+                    else:
+                        break  # quiescent: nothing scheduled or in flight
                 if r > max_rounds:
                     raise RoundLimitExceeded(
                         f"no quiescence by round {max_rounds}; "
@@ -263,10 +286,48 @@ class FastNetwork:
 
                 # --- CONGEST enforcement + delivery --------------------
                 inboxes: Dict[int, List[Envelope]] = {}
-                if envelopes:
-                    # Per-round channel load, keyed by the packed slot
-                    # src * n + dst (no tuple allocation per message).
-                    channel_load: Dict[int, int] = {}
+                if plain:
+                    if envelopes:
+                        # Per-round channel load, keyed by the packed
+                        # slot src * n + dst (no tuple allocation per
+                        # message).
+                        channel_load: Dict[int, int] = {}
+                        for env in envelopes:
+                            words = env.words
+                            if words > word_budget:
+                                raise MessageSizeError(
+                                    f"round {r}: node {env.src} sent a "
+                                    f"{words}-word message (budget "
+                                    f"{word_budget}): {env.payload!r}")
+                            dst = env.dst
+                            slot = env.src * n + dst
+                            load = channel_load.get(slot, 0) + 1
+                            if load > capacity:
+                                raise CongestionError(
+                                    f"round {r}: channel {(env.src, dst)} "
+                                    f"carries {load} messages (capacity "
+                                    f"{capacity})")
+                            channel_load[slot] = load
+                            msg_count += 1
+                            words_total += words
+                            if words > max_msg_words:
+                                max_msg_words = words
+                            chmsg[(env.src, dst)] += 1
+                            box = inboxes.get(dst)
+                            if box is None:
+                                inboxes[dst] = [env]
+                            else:
+                                box.append(env)
+                        metrics.active_rounds += 1
+                        if r > metrics.rounds:
+                            metrics.rounds = r
+                else:
+                    # Instrumented delivery: same enforcement and
+                    # accounting, plus the recorder/tracer emissions and
+                    # the injector protocol at the reference backend's
+                    # exact event points.
+                    deliveries: List[Envelope] = []
+                    channel_load = {}
                     for env in envelopes:
                         words = env.words
                         if words > word_budget:
@@ -288,45 +349,95 @@ class FastNetwork:
                         if words > max_msg_words:
                             max_msg_words = words
                         chmsg[(env.src, dst)] += 1
-                        box = inboxes.get(dst)
-                        if box is None:
-                            inboxes[dst] = [env]
+                        if recorder is not None:
+                            recorder.emit(r, env.src, "send", dst,
+                                          env.payload)
+                        if tracer is not None:
+                            tracer.emit(r, env.src, "net.send", dst, words)
+                        if injector is None:
+                            box = inboxes.get(dst)
+                            if box is None:
+                                inboxes[dst] = [env]
+                            else:
+                                box.append(env)
                         else:
-                            box.append(env)
-                    metrics.active_rounds += 1
-                    if r > metrics.rounds:
-                        metrics.rounds = r
+                            # The fault model acts after enforcement and
+                            # accounting: metrics measure offered load.
+                            deliveries.extend(injector.offer(env, r,
+                                                             load - 1))
+                    if injector is not None:
+                        deliveries.extend(injector.take_due(r))
+                        for env in deliveries:
+                            if injector.deliverable(env, r):
+                                inboxes.setdefault(env.dst, []).append(env)
+                        if envelopes or deliveries:
+                            metrics.active_rounds += 1
+                            if r > metrics.rounds:
+                                metrics.rounds = r
+                    elif envelopes:
+                        metrics.active_rounds += 1
+                        if r > metrics.rounds:
+                            metrics.rounds = r
 
                 # --- receive phase + reschedule ------------------------
                 if inboxes:
-                    for v in sorted(inboxes):
+                    receivers = sorted(inboxes)
+                    for v in receivers:
                         inbox = inboxes[v]
                         inbox.sort(key=_SRC)  # stable: sender order kept
+                        if recorder is not None:
+                            for env in inbox:
+                                recorder.emit(r, v, "recv", env.src,
+                                              env.payload)
                         programs[v].on_receive(contexts[v], r, inbox)
+                    # Deterministic reschedule order: senders in
+                    # increasing node order, then receivers in
+                    # increasing node order -- identical to the
+                    # reference backend's iteration.
                     touched = dict.fromkeys(senders)
-                    touched.update(dict.fromkeys(inboxes))
-                    resched = touched.keys()
+                    touched.update(dict.fromkeys(receivers))
                 else:
-                    resched = senders
-                for v in resched:
+                    receivers = []
+                    touched = dict.fromkeys(senders)
+                for v in touched:
                     nr = programs[v].next_active_round(contexts[v], r)
                     if nr != sched[v]:
                         sched[v] = nr
                         if nr is not None:
                             push(heap, (nr, v))
 
+                if tracer is not None:
+                    tracer.emit(r, -1, "net.round", len(senders),
+                                len(receivers))
                 if timed:
                     dt = _perf() - t_round
                     if round_hist is not None:
                         round_hist.observe(dt)
                     if profile is not None:
                         profile.record("network.round", dt)
+
+                if monitor is not None and touched:
+                    try:
+                        monitor.after_round(self, r, touched)
+                    except Exception as exc:
+                        # Attach the post-mortem to whatever the monitor
+                        # raised (InvariantViolation has a slot for it)
+                        # and let it propagate located, not bare.
+                        try:
+                            exc.post_mortem = self._post_mortem(
+                                f"invariant violation: {exc}", r,
+                                list(sched))
+                        except AttributeError:
+                            pass
+                        raise
         finally:
             if msg_count:
                 metrics.messages += msg_count
                 metrics.words += words_total
             if max_msg_words > metrics.max_message_words:
                 metrics.max_message_words = max_msg_words
+            if injector is not None:
+                metrics.set_fault_stats(injector.stats.as_dict())
             if registry is not None:
                 from ..obs.registry import publish_run_metrics
                 self._published = publish_run_metrics(

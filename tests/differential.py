@@ -4,17 +4,25 @@ reference one.
 The fast backend (:class:`repro.perf.FastNetwork`) is only allowed to
 exist because nothing observable distinguishes it from the reference
 :class:`repro.congest.Network`: same per-node outputs, same round
-counts, same message/word/congestion accounting, envelope for envelope.
-This module is the single place that comparison is defined, so the
-Hypothesis property tests (tests/test_differential_backend.py), the
-golden fixtures, and the E19 speedup sweep all enforce the *same*
-notion of "identical".
+counts, same message/word/congestion accounting, envelope for envelope
+-- and, since the fast backend gained full hook support, the same fault
+statistics, invariant-monitor verdicts, trace event streams, and
+post-mortem contents.  This module is the single place that comparison
+is defined, so the Hypothesis property tests
+(tests/test_differential_backend.py), the golden fixtures, and the E19
+speedup sweep all enforce the *same* notion of "identical".
 
-Two entry points:
+Three entry points:
 
 * :func:`assert_networks_equivalent` -- construct both backends from one
   program factory and compare raw network observables (the sharpest
   check: it sees per-channel counters, not just totals);
+* :func:`assert_instrumented_equivalent` -- the hook-attached variant:
+  runs both backends with a fault plan / monitor / tracer /
+  ``record_window`` attached and compares everything the hooks observed
+  or injected, *including* the failure outcome (a
+  ``RoundLimitExceeded`` or ``InvariantViolation`` must fire
+  identically, post-mortem and all);
 * :func:`assert_entrypoint_equivalent` -- run a ``run_*`` algorithm
   entry point once per backend via its ``backend=`` keyword and compare
   result fields plus metrics (the user-visible contract).
@@ -22,17 +30,20 @@ Two entry points:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Sequence, Tuple
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
-from repro.congest import Network, RunMetrics
+from repro.congest import Network, RoundLimitExceeded, RunMetrics
+from repro.faults.monitor import InvariantViolation
+from repro.obs import Tracer
 from repro.perf import FastNetwork
 
 
 def metrics_summary(m: RunMetrics) -> Dict[str, Any]:
-    """Every observable :class:`RunMetrics` carries for a fault-free run,
-    including the per-channel and per-node counters -- two executions
-    with equal summaries offered the same load on the same channels in
-    the same number of rounds."""
+    """Every observable :class:`RunMetrics` carries, including the
+    per-channel and per-node counters, the fault statistics, and the
+    resilience overhead -- two executions with equal summaries offered
+    the same load on the same channels in the same number of rounds and
+    suffered the same injected faults."""
     return {
         "rounds": m.rounds,
         "active_rounds": m.active_rounds,
@@ -44,6 +55,9 @@ def metrics_summary(m: RunMetrics) -> Dict[str, Any]:
         "max_node_sends": m.max_node_sends,
         "channel_messages": dict(m.channel_messages),
         "node_sends": dict(m.node_sends),
+        "retransmissions": m.retransmissions,
+        "ack_messages": m.ack_messages,
+        "faults": dict(m.faults),
     }
 
 
@@ -54,6 +68,30 @@ def assert_metrics_equal(fast: RunMetrics, ref: RunMetrics,
         f"fast backend diverged from reference on metrics{label and f' ({label})'}: "
         + "; ".join(f"{k}: fast={got[k]!r} ref={want[k]!r}"
                     for k in want if got[k] != want[k]))
+
+
+def trace_events(tracer) -> list:
+    """A tracer's (or recorder's) event stream as comparable tuples."""
+    return [(e.round, e.node, e.kind, e.data) for e in tracer.events]
+
+
+def post_mortem_summary(pm) -> Optional[Dict[str, Any]]:
+    """Everything a :class:`~repro.faults.watchdog.PostMortem` carries,
+    as comparable data (``None`` for no post-mortem)."""
+    if pm is None:
+        return None
+    return {
+        "reason": pm.reason,
+        "round": pm.round,
+        "pending_sends": dict(pm.pending_sends),
+        "in_flight": list(pm.in_flight),
+        "top_channels": list(pm.top_channels),
+        "fault_stats": dict(pm.fault_stats),
+        "recent_events": [(e.round, e.node, e.kind, e.data)
+                          for e in pm.recent_events],
+        "record_window": pm.record_window,
+        "render": pm.render(),
+    }
 
 
 def assert_networks_equivalent(graph, program_factory, *, max_rounds: int,
@@ -73,12 +111,76 @@ def assert_networks_equivalent(graph, program_factory, *, max_rounds: int,
     return ref, fast
 
 
+def run_observed(network_cls, graph, program_factory, *, max_rounds: int,
+                 fault_plan=None, monitor_factory=None, with_tracer=False,
+                 record_window: int = 0, **kwargs) -> Dict[str, Any]:
+    """Run one backend with hooks attached and capture *everything* the
+    run observed: outputs, metrics, trace events, ring-recorder events,
+    and the outcome (clean quiescence, round-limit, or invariant
+    violation) with its post-mortem.
+
+    Stateful hooks (tracer, monitor) are built fresh per call --
+    ``monitor_factory`` is a zero-argument callable -- so the two
+    backends cannot contaminate each other through shared hook state.
+    """
+    tracer = Tracer() if with_tracer else None
+    monitor = monitor_factory() if monitor_factory is not None else None
+    net = network_cls(graph, program_factory, fault_plan=fault_plan,
+                      monitor=monitor, tracer=tracer,
+                      record_window=record_window, **kwargs)
+    outcome: Tuple[Any, ...]
+    try:
+        net.run(max_rounds=max_rounds)
+        outcome = ("quiesced",)
+    except RoundLimitExceeded as exc:
+        outcome = ("round-limit", post_mortem_summary(exc.post_mortem))
+    except InvariantViolation as exc:
+        outcome = ("violation", exc.invariant, exc.node, exc.round,
+                   exc.detail, post_mortem_summary(exc.post_mortem))
+    return {
+        "outcome": outcome,
+        "outputs": net.outputs(),
+        "metrics": metrics_summary(net.metrics),
+        "trace": trace_events(tracer) if tracer is not None else None,
+        "recorded": trace_events(net.trace) if net.trace is not None else None,
+        "monitor_rounds": getattr(monitor, "rounds_checked", None),
+    }
+
+
+def assert_instrumented_equivalent(graph, program_factory, *,
+                                   max_rounds: int,
+                                   fault_plan=None, monitor_factory=None,
+                                   with_tracer=False, record_window: int = 0,
+                                   **kwargs) -> Dict[str, Any]:
+    """Run both backends with the given hooks attached and assert every
+    observation -- including the failure mode -- is identical.  Returns
+    the (shared) observation dict for follow-up assertions."""
+    ref = run_observed(Network, graph, program_factory,
+                       max_rounds=max_rounds, fault_plan=fault_plan,
+                       monitor_factory=monitor_factory,
+                       with_tracer=with_tracer,
+                       record_window=record_window, **kwargs)
+    fast = run_observed(FastNetwork, graph, program_factory,
+                        max_rounds=max_rounds, fault_plan=fault_plan,
+                        monitor_factory=monitor_factory,
+                        with_tracer=with_tracer,
+                        record_window=record_window, **kwargs)
+    for key in ("outcome", "outputs", "metrics", "trace", "recorded",
+                "monitor_rounds"):
+        assert fast[key] == ref[key], (
+            f"fast backend diverged from reference on instrumented "
+            f"{key}: fast={fast[key]!r} ref={ref[key]!r}")
+    return ref
+
+
 def assert_entrypoint_equivalent(run: Callable[..., Any], *args,
                                  compare: Sequence[str] = ("dist",),
                                  **kwargs) -> Tuple[Any, Any]:
     """Run ``run(*args, backend=..., **kwargs)`` once per backend and
     assert the fields named in ``compare`` plus the metrics summary are
-    identical.  Returns ``(reference_result, fast_result)``."""
+    identical.  Hook kwargs (``fault_plan`` etc.) pass straight through,
+    so entry-point-level instrumented runs compare the same way.
+    Returns ``(reference_result, fast_result)``."""
     ref = run(*args, backend="reference", **kwargs)
     fast = run(*args, backend="fast", **kwargs)
     for attr in compare:

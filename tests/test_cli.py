@@ -212,3 +212,51 @@ class TestFaults:
         from repro.cli import build_parser
         args = build_parser().parse_args(["bench", "E18"])
         assert args.experiment == "E18"
+
+
+class TestBackendFlag:
+    """`--backend fast` on the instrumented commands: accepted, honored,
+    identical output -- and backend errors stay one-line, exit 2."""
+
+    def test_faults_backend_fast_matches_reference(self, graph_file):
+        args = ("faults", graph_file, "--fault-seed", "2",
+                "--drop-rate", "0.2", "--delay-rate", "0.2", "-q")
+        rc_ref, out_ref = run_cli(*args, "--backend", "reference")
+        rc_fast, out_fast = run_cli(*args, "--backend", "fast")
+        assert rc_ref == 0
+        assert (rc_fast, out_fast) == (rc_ref, out_ref)
+
+    def test_faults_backend_fast_short_range(self, graph_file):
+        rc, out = run_cli("faults", graph_file, "--algorithm",
+                          "short-range", "--hops", "5", "--drop-rate",
+                          "0.1", "-q", "--backend", "fast")
+        assert rc == 0
+        assert "RESULT: correct" in out
+
+    def test_backend_unsupported_is_clean_error(self, graph_file, capsys,
+                                                monkeypatch):
+        """Nothing raises BackendUnsupported today; pin that if a future
+        backend limitation does, the CLI reports it as a one-line error
+        instead of a traceback."""
+        from repro.perf import BackendUnsupported
+        import repro.perf.backends as backends
+
+        def refuse(*a, **k):
+            raise BackendUnsupported(
+                "backend 'fast' cannot honor hook 'quantum_oracle'")
+        monkeypatch.setitem(backends.BACKENDS, "fast", refuse)
+        rc, _ = run_cli("faults", graph_file, "--backend", "fast", "-q")
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cannot honor" in err
+
+    def test_env_typo_is_clean_error_at_first_simulation(self, graph_file,
+                                                         capsys, monkeypatch):
+        import repro.perf.backends as backends
+        monkeypatch.setenv("REPRO_BACKEND", "fasst")
+        monkeypatch.setattr(backends, "_default_backend", None)
+        rc, _ = run_cli("faults", graph_file, "-q")
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "REPRO_BACKEND" in err and "fasst" in err

@@ -42,7 +42,7 @@ def test_two_runs_identical(runner, kwargs):
     assert a.dist == b.dist
 
 
-def fault_digest():
+def fault_digest(backend="reference"):
     """One canonical fault-injected resilient run, reduced to a digest.
 
     Everything measurable goes in: outputs, metrics, per-channel counts,
@@ -57,7 +57,8 @@ def fault_digest():
     g = random_graph(12, p=0.35, w_max=8, seed=7)
     plan = FaultPlan(seed=3, drop_rate=0.15, duplicate_rate=0.1,
                      delay_rate=0.1, corrupt_rate=0.05, max_delay=3)
-    res = run_bellman_ford(g, 0, fault_plan=plan, resilient=True)
+    res = run_bellman_ford(g, 0, fault_plan=plan, resilient=True,
+                           backend=backend)
     m = res.metrics
     blob = repr((res.dist, res.parent, m.rounds, m.messages, m.words,
                  sorted(m.channel_messages.items()),
@@ -70,6 +71,43 @@ def fault_digest():
 def test_fault_injected_runs_identical():
     """Same graph + same FaultPlan seed => bit-identical executions."""
     assert fault_digest() == fault_digest()
+
+
+def test_fault_digest_backend_independent():
+    """The resilient ack/retransmit run -- the E18 workload -- produces
+    the identical digest on the fast backend."""
+    assert fault_digest("fast") == fault_digest("reference")
+
+
+def instrumented_digest(backend):
+    """A fully instrumented raw-network run (fault plan + tracer + ring
+    recorder), digested over the outcome, outputs, metrics, and both
+    event streams."""
+    import hashlib
+
+    from differential import run_observed
+    from repro.congest import Network
+    from repro.core.bellman_ford import BellmanFordProgram
+    from repro.faults import FaultPlan
+    from repro.perf import FastNetwork
+
+    g = random_graph(12, p=0.35, w_max=8, zero_fraction=0.2, seed=9)
+    plan = FaultPlan(seed=4, drop_rate=0.1, duplicate_rate=0.15,
+                     delay_rate=0.2, corrupt_rate=0.05, max_delay=4)
+    cls = {"reference": Network, "fast": FastNetwork}[backend]
+    obs = run_observed(cls, g, lambda v: BellmanFordProgram(v, 0),
+                       max_rounds=800, fault_plan=plan, with_tracer=True,
+                       record_window=3)
+    m = obs["metrics"]
+    blob = repr((obs["outcome"], obs["outputs"],
+                 {k: (sorted(v.items()) if isinstance(v, dict) else v)
+                  for k, v in m.items()},
+                 obs["trace"], obs["recorded"]))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def test_instrumented_digest_backend_independent():
+    assert instrumented_digest("fast") == instrumented_digest("reference")
 
 
 def test_fault_seed_changes_execution():
@@ -118,8 +156,10 @@ def test_backend_digest_stable_under_pythonhashseed():
     import subprocess
     import sys
 
-    code = ("from test_determinism import backend_digest; "
-            "print(backend_digest('fast'), backend_digest('reference'))")
+    code = ("from test_determinism import backend_digest, "
+            "instrumented_digest; "
+            "print(backend_digest('fast'), backend_digest('reference'), "
+            "instrumented_digest('fast'), instrumented_digest('reference'))")
     outputs = set()
     for hashseed in ("0", "1", "424242"):
         env = dict(os.environ, PYTHONHASHSEED=hashseed)
@@ -130,8 +170,9 @@ def test_backend_digest_stable_under_pythonhashseed():
                 os.path.dirname(os.path.abspath(__file__))),
             env=env, capture_output=True, text=True, timeout=120)
         assert proc.returncode == 0, proc.stderr
-        fast, ref = proc.stdout.split()
+        fast, ref, ifast, iref = proc.stdout.split()
         assert fast == ref
+        assert ifast == iref
         outputs.add(proc.stdout.strip())
     assert len(outputs) == 1, f"hash-seed-dependent executions: {outputs}"
 

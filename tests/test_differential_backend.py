@@ -16,18 +16,23 @@ happens to miss still cannot land silently.
 
 import json
 from pathlib import Path
+from typing import List, Optional
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from differential import (
     assert_entrypoint_equivalent,
+    assert_instrumented_equivalent,
     assert_networks_equivalent,
     metrics_summary,
 )
+from repro.congest import Envelope, NodeContext, Program
 from repro.core import run_apsp, run_apsp_blocker, run_hk_ssp, run_short_range
-from repro.core.bellman_ford import run_bellman_ford
+from repro.core.bellman_ford import BellmanFordProgram, run_bellman_ford
 from repro.core.unweighted import UnweightedAPSPProgram
+from repro.faults import FaultPlan
+from repro.faults.monitor import oracle_monitor
 from repro.graphs import io as gio
 from repro.graphs import random_graph
 from repro.perf import use_backend
@@ -99,6 +104,125 @@ def test_raw_network_differential(data):
         max_rounds=4 * g.n + len(srcs) + 16)
 
 
+# --- instrumented differential: every hook attached, every hook
+# --- observation compared --------------------------------------------
+
+# Rates are drawn from a few fixed notches rather than full-range
+# floats: the injector only compares the derived coin against the rate,
+# so notches cover the behaviour space while shrinking well.
+rate = st.sampled_from([0.0, 0.1, 0.3, 0.8])
+
+fault_plans = st.builds(
+    FaultPlan,
+    seed=st.integers(0, 10_000),
+    drop_rate=rate,
+    duplicate_rate=rate,
+    delay_rate=rate,
+    max_delay=st.integers(1, 5),
+    corrupt_rate=st.sampled_from([0.0, 0.2]),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data())
+def test_instrumented_differential(data):
+    """The tentpole property: a fault-injected, monitored, traced,
+    event-recorded run is indistinguishable across backends -- same
+    outputs, same metrics (fault stats included), same trace event
+    stream, same ring-recorder contents, and the same outcome (clean
+    quiescence, RoundLimitExceeded, or InvariantViolation) with the
+    same post-mortem."""
+    g = data.draw(small_graphs)
+    source = data.draw(st.integers(0, g.n - 1))
+    plan = data.draw(fault_plans)
+    record_window = data.draw(st.sampled_from([0, 1, 3]))
+    with_monitor = data.draw(st.booleans())
+    assert_instrumented_equivalent(
+        g, lambda v: BellmanFordProgram(v, source),
+        max_rounds=8 * g.n + 80,
+        fault_plan=plan,
+        monitor_factory=(lambda: oracle_monitor(g, [source]))
+        if with_monitor else None,
+        with_tracer=True,
+        record_window=record_window,
+    )
+
+
+# --- targeted accounting regressions: rounds that carry no payload ----
+
+
+class ScheduledMute(Program):
+    """Node 0 announces in round 1, then *schedules* round 3 but sends
+    nothing when it arrives -- an executed round with senders yet zero
+    envelopes, the exact case where `active_rounds` and `rounds` part
+    ways."""
+
+    def __init__(self, v: int) -> None:
+        self.v = v
+        self._sched: List[int] = [1, 3] if v == 0 else []
+        self.received: List[int] = []
+
+    def on_send(self, ctx: NodeContext, r: int) -> None:
+        if self._sched and self._sched[0] == r:
+            self._sched.pop(0)
+            if r == 1:
+                ctx.broadcast("tick")  # round 3 stays silent
+
+    def on_receive(self, ctx: NodeContext, r: int,
+                   inbox: List[Envelope]) -> None:
+        self.received.append(r)
+
+    def next_active_round(self, ctx: NodeContext, r: int) -> Optional[int]:
+        return self._sched[0] if self._sched else None
+
+    def output(self, ctx: NodeContext):
+        return self.received
+
+
+class TestAccountingParity:
+    """`rounds` / `active_rounds` / `skipped_rounds` stay identical on
+    rounds whose only activity is a no-op wake-up or a fault-delayed
+    delivery."""
+
+    def _line(self, n):
+        from repro.graphs import path_graph
+        return path_graph(n, w=1)
+
+    @pytest.mark.parametrize("plan", [None, FaultPlan(seed=2)],
+                             ids=["plain", "trivial-plan"])
+    def test_zero_envelope_sender_round(self, plan):
+        ref, fast = assert_networks_equivalent(
+            self._line(4), ScheduledMute, max_rounds=10, fault_plan=plan)
+        # The scenario really exercised the gap: node 0 woke at round 3
+        # and sent nothing, so the silent round is invisible to
+        # `rounds`/`active_rounds` (both stop at the last round with
+        # traffic, round 1) yet round 2 was skipped on the way there.
+        assert (ref.metrics.rounds, ref.metrics.active_rounds,
+                ref.metrics.skipped_rounds) == (1, 1, 1)
+
+    def test_delivery_only_rounds(self):
+        """With delay_rate=1 every envelope arrives late, so some rounds
+        execute purely because the injector holds in-flight traffic --
+        neither backend may skip past them nor count them differently."""
+        plan = FaultPlan(seed=11, delay_rate=1.0, max_delay=4)
+        obs = assert_instrumented_equivalent(
+            self._line(4), lambda v: BellmanFordProgram(v, 0),
+            max_rounds=80, fault_plan=plan, with_tracer=True)
+        m = obs["metrics"]
+        assert m["faults"]["delays"] > 0
+        assert m["active_rounds"] <= m["rounds"]
+
+    def test_delivery_only_rounds_with_gaps_skip_identically(self):
+        """Sparse schedule + long delays: the worklist backend must jump
+        to the delivery round (skipped_rounds) exactly like the
+        reference scan does."""
+        plan = FaultPlan(seed=5, delay_rate=1.0, max_delay=6)
+        obs = assert_instrumented_equivalent(
+            self._line(6), ScheduledMute, max_rounds=40,
+            fault_plan=plan, with_tracer=True, record_window=2)
+        assert obs["metrics"]["skipped_rounds"] >= 0  # parity already pinned
+
+
 # --- golden fixtures: the fast backend must reproduce the frozen
 # --- distances AND the frozen metrics numbers ------------------------
 
@@ -131,3 +255,23 @@ def test_golden_fixture_differential(name):
         blk = run_apsp_blocker(g)
     assert blk.dist == {x: expected[x] for x in range(g.n)}
     assert _golden_summary(blk.metrics) == frozen["blocker"], name
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_golden_fixture_instrumented_differential(name):
+    """The committed fixture graphs driven with *every* hook attached:
+    a fixed seeded fault plan, the oracle monitor, a tracer, and the
+    ring recorder.  Whatever happens (quiescence, round-limit, or a
+    monitor violation from the injected corruption) must happen
+    identically on both backends."""
+    g = gio.load(DATA / f"{name}.graph")
+    plan = FaultPlan(seed=13, drop_rate=0.1, duplicate_rate=0.1,
+                     delay_rate=0.2, max_delay=3, corrupt_rate=0.1)
+    assert_instrumented_equivalent(
+        g, lambda v: BellmanFordProgram(v, 0),
+        max_rounds=20 * g.n + 100,
+        fault_plan=plan,
+        monitor_factory=lambda: oracle_monitor(g, [0]),
+        with_tracer=True,
+        record_window=3,
+    )
