@@ -7,6 +7,7 @@ from .inspect import (
     node_timeline,
     render_occupancy,
     schedule_occupancy,
+    send_history,
     trace_run,
 )
 from .records import ExperimentReport, Measurement
@@ -15,6 +16,7 @@ from .sweep import (
     sweep_backend_speedup,
     sweep_fault_tolerance,
     sweep_invariants,
+    sweep_node_kernels,
     sweep_short_range,
     sweep_table1_exact,
     sweep_theorem11_apsp,
@@ -30,6 +32,7 @@ __all__ = [
     "node_timeline",
     "render_occupancy",
     "schedule_occupancy",
+    "send_history",
     "sparkline",
     "trace_run",
     "xy_chart",
@@ -40,6 +43,7 @@ __all__ = [
     "sweep_backend_speedup",
     "sweep_fault_tolerance",
     "sweep_invariants",
+    "sweep_node_kernels",
     "sweep_short_range",
     "sweep_table1_exact",
     "sweep_theorem11_apsp",

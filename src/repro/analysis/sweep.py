@@ -271,6 +271,106 @@ def sweep_backend_speedup(*, sizes: Sequence[int] = (768, 1536), w: int = 4,
     return rep
 
 
+def sweep_node_kernels(*, sizes: Sequence[Tuple[int, int, int]] = (
+                            (768, 96, 96), (1536, 192, 192)),
+                       w: int = 4, repeats: int = 2, timing: bool = True,
+                       report: Optional[ExperimentReport] = None
+                       ) -> ExperimentReport:
+    """E20: wall-clock speedup of the indexed node-state kernels over the
+    naive linear-scan ``ReferenceNodeList`` inside Algorithm 1.
+
+    After the fast backend removed the network loop's O(n) scans (E19),
+    the remaining wall-clock is node-side: ``fire_at`` /
+    ``next_fire_after`` rescanning every list entry per active round and
+    the O(len) count queries of Steps 8-13.  That cost only shows when
+    per-node lists are *long*, so -- unlike E19's single-source workload,
+    whose path-graph lists hold one entry per source -- E20 spreads ``k``
+    sources along a weighted path at the same largest size (each row is
+    ``(n, k, h)``): every node's list carries ~k entries (two candidate
+    directions per source, budget-capped), which is exactly the regime
+    the kernels index.  Both arms run on the **fast backend**, so the
+    measured gap is purely the node-state kernels -- the speedup is *on
+    top of* E19's.
+
+    Timing is interleaved best-of-``repeats`` (reference kernel then
+    indexed kernel per repeat, each keeping its fastest), as in E19.
+    Every row differentially re-checks the two runs -- identical
+    distances, hops, parents, round counts, message totals, and list
+    statistics -- so a speedup can never come from the kernels quietly
+    computing different things (the per-operation pin lives in
+    tests/test_node_list_kernels.py).
+
+    ``timing=False`` switches to the deterministic mode used by the
+    ``obs bench`` smoke suite and its committed baseline: no clocks --
+    ``measured`` is the (deterministic) round count and the row carries
+    the differential-agreement flag, so the BENCH record is bit-stable
+    across machines and ``--jobs`` values.
+
+    ``measured`` (timing mode) is the speedup (reference kernel seconds /
+    indexed kernel seconds); the CI gate lives in
+    ``benchmarks/bench_node_kernels.py`` (fails below 1.5x at the
+    largest size).
+    """
+    from ..graphs.reference import weak_delta_bound
+
+    rep = report or ExperimentReport(
+        "E20", "Node-state kernels: indexed vs linear-scan NodeList "
+               "wall-clock inside Algorithm 1 (k sources spread on a "
+               "weighted path, both arms on the fast backend)")
+    for n, k, h in sizes:
+        g = path_graph(n, w=w)
+        srcs = list(range(0, n, max(1, n // k)))[:k]
+        delta = weak_delta_bound(g, srcs, h)
+
+        def timed(kernel):
+            t0 = time.perf_counter()
+            r = run_hk_ssp(g, srcs, h, delta, backend="fast",
+                           list_kernel=kernel, max_rounds=10 ** 7)
+            return time.perf_counter() - t0, r
+
+        ref_s = idx_s = math.inf
+        ref_res = idx_res = None
+        for _ in range(max(1, repeats if timing else 1)):
+            dt, r = timed("reference")
+            if dt < ref_s:
+                ref_s, ref_res = dt, r
+            dt, r = timed("indexed")
+            if dt < idx_s:
+                idx_s, idx_res = dt, r
+        if (ref_res.dist != idx_res.dist or ref_res.hops != idx_res.hops
+                or ref_res.parent != idx_res.parent):
+            raise AssertionError(
+                f"E20 n={n} k={k} h={h}: kernels disagree on outputs -- "
+                f"speedup numbers would be meaningless (differential "
+                f"suite escape, see tests/test_node_list_kernels.py)")
+        if (ref_res.metrics.rounds != idx_res.metrics.rounds
+                or ref_res.metrics.messages != idx_res.metrics.messages
+                or ref_res.max_list_len != idx_res.max_list_len
+                or ref_res.max_entries_per_source
+                != idx_res.max_entries_per_source):
+            raise AssertionError(
+                f"E20 n={n} k={k} h={h}: kernels disagree on run "
+                f"statistics (rounds {ref_res.metrics.rounds} vs "
+                f"{idx_res.metrics.rounds}, messages "
+                f"{ref_res.metrics.messages} vs "
+                f"{idx_res.metrics.messages}, max list "
+                f"{ref_res.max_list_len} vs {idx_res.max_list_len})")
+        base = {"n": n, "k": len(srcs), "h": h, "w": w, "Delta": delta}
+        if timing:
+            rep.add(base, measured=round(ref_s / idx_s, 2),
+                    ref_s=round(ref_s, 4),
+                    indexed_s=round(idx_s, 4),
+                    rounds=idx_res.metrics.rounds,
+                    max_list=idx_res.max_list_len)
+        else:
+            rep.add(base, measured=idx_res.metrics.rounds,
+                    messages=idx_res.metrics.messages,
+                    max_list=idx_res.max_list_len,
+                    max_per_source=idx_res.max_entries_per_source,
+                    kernels_agree=1)
+    return rep
+
+
 def sweep_fault_tolerance(*, drop_rates: Sequence[float] = (0.0, 0.01, 0.05, 0.1),
                           seeds: Sequence[int] = (0, 1),
                           sizes: Sequence[int] = (10, 14),

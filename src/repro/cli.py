@@ -10,7 +10,7 @@ Commands operate on graph files in the plain-text format of
 * ``hkssp`` -- the (h, k)-SSP problem (the paper's weak contract);
 * ``approx``-- (1+eps)-approximate APSP;
 * ``bounds``-- evaluate the paper's bound formulas for given parameters;
-* ``bench`` -- run one of the experiment sweeps (E1-E19) and print its
+* ``bench`` -- run one of the experiment sweeps (E1-E20) and print its
   measured-vs-bound table, optionally fanned out across worker
   processes (``--jobs N``) via :class:`repro.perf.SweepExecutor`;
 * ``explain``-- replay how one node learned its distance from one source;
@@ -201,6 +201,7 @@ def cmd_bench(args, out) -> int:
         "E17": lambda: list(exp_mod.sweep_ksource_short_range()),
         "E18": lambda: [sweep_mod.sweep_fault_tolerance()],
         "E19": lambda: [sweep_mod.sweep_backend_speedup()],
+        "E20": lambda: [sweep_mod.sweep_node_kernels()],
     }
     key = args.experiment.upper()
     if key == "ALL":
@@ -325,6 +326,11 @@ _SMOKE_SUITE = (
      {"seeds": (0,), "sizes": (10,)}),
     ("repro.analysis.sweep:sweep_table1_exact",
      {"seeds": (0,), "sizes": (8,)}),
+    # E20 in its clock-free mode: rounds + kernel-agreement flag only,
+    # so the record stays deterministic (the timed gate is
+    # benchmarks/bench_node_kernels.py, not the smoke compare).
+    ("repro.analysis.sweep:sweep_node_kernels",
+     {"sizes": ((48, 8, 24),), "timing": False}),
 )
 
 
@@ -483,7 +489,7 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("-q", "--quiet", action="store_true")
     ap.set_defaults(func=cmd_approx)
 
-    be = sub.add_parser("bench", help="run an experiment sweep (E1-E19 or all)")
+    be = sub.add_parser("bench", help="run an experiment sweep (E1-E20 or all)")
     be.add_argument("experiment", help="experiment id, e.g. E2, or 'all'")
     be.add_argument("--jobs", type=int, default=1, metavar="N",
                     help="fan seed-splittable sweeps out across N worker "

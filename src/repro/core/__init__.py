@@ -47,7 +47,8 @@ from .keys import (
 )
 from .kssp import KSSPResult, lemma32_round_bound, run_apsp_blocker, run_kssp_blocker
 from .kssp_random import SampledKSSPResult, run_apsp_sampled, run_kssp_sampled
-from .node_list import NodeList
+from .node_list import LIST_KERNELS, NodeList, ReferenceNodeList, \
+    make_node_list, set_paranoid
 from .pipelined import (
     HKSSPResult,
     PipelinedSSPProgram,
@@ -83,7 +84,9 @@ __all__ = [
     "HKSSPResult",
     "KSSPResult",
     "KSourceShortRangeResult",
+    "LIST_KERNELS",
     "NodeList",
+    "ReferenceNodeList",
     "PipelinedSSPProgram",
     "PositiveAPSPResult",
     "Route",
@@ -106,6 +109,7 @@ __all__ = [
     "k_ssp",
     "key_of",
     "lemma32_round_bound",
+    "make_node_list",
     "max_entries_per_source",
     "run_approx_apsp",
     "run_approx_apsp_positive",
@@ -127,6 +131,7 @@ __all__ = [
     "run_short_range_extension",
     "run_unweighted_apsp",
     "send_round",
+    "set_paranoid",
     "theorem11_round_bound",
     "theoretical_key_bound",
     "tree_scores",

@@ -63,7 +63,8 @@ from ..graphs.digraph import WeightedDigraph
 from ..graphs.reference import weak_delta_bound
 from .entries import Entry, SourceBest
 from .keys import gamma_for, key_of, send_round
-from .node_list import NodeList
+from . import node_list as _node_list
+from .node_list import make_node_list
 
 INF = float("inf")
 
@@ -75,7 +76,9 @@ class PipelinedSSPProgram(Program):
                  *, cutoff_round: Optional[int] = None,
                  directed_broadcast: bool = True,
                  eviction: str = "budget",
-                 trace: Optional[TraceRecorder] = None) -> None:
+                 trace: Optional[TraceRecorder] = None,
+                 record_sends: Optional[bool] = None,
+                 list_kernel: str = "indexed") -> None:
         self.v = v
         self.sources = sources
         self.h = h
@@ -83,6 +86,12 @@ class PipelinedSSPProgram(Program):
         self.cutoff_round = cutoff_round
         self.directed_broadcast = directed_broadcast
         self.trace = trace
+        #: Per-entry ``sent_at`` diagnostics are opt-in (an allocation +
+        #: append per send otherwise paid by every run); default: record
+        #: exactly when something is watching -- a trace recorder or the
+        #: paranoid kernel mode.
+        self.record_sends = (trace is not None or _node_list.PARANOID
+                             if record_sends is None else bool(record_sends))
         #: Invariant 2 budget: at most floor(h/gamma) + 1 = floor(
         #: sqrt(Delta h / k)) + 1 entries per source (Lemma II.11);
         #: Insert evicts only when an insertion would exceed it.  The
@@ -95,7 +104,9 @@ class PipelinedSSPProgram(Program):
             raise ValueError(f"unknown eviction policy {eviction!r}")
         self.budget = None if eviction == "always" else int(h / gamma) + 1
 
-        self.list_v = NodeList()
+        #: ``indexed`` (the kernel NodeList) or ``reference`` (the naive
+        #: linear-scan baseline) -- the E20 ablation knob.
+        self.list_v = make_node_list(list_kernel)
         #: flag-d* machinery: per source, the smallest (d, kappa) over
         #: all entries ever inserted (any hop count).  The node's final
         #: (d*, l*) converges to (delta(x, v), minhop(x, v)) and is the
@@ -132,7 +143,8 @@ class PipelinedSSPProgram(Program):
             ctx.broadcast_out(payload)
         else:
             ctx.broadcast(payload)
-        z.sent_at.append(r)
+        if self.record_sends:
+            z.record_send(r)
         self.sends += 1
         if self.trace is not None:
             self.trace.emit(r, self.v, "send", z.d, z.l, z.x, nu)
@@ -140,9 +152,21 @@ class PipelinedSSPProgram(Program):
     # -- Steps 3-13: receive -------------------------------------------------
 
     def on_receive(self, ctx: NodeContext, r: int, inbox: List[Envelope]) -> None:
+        # Batched round processing: per-envelope *order* is semantic (the
+        # Step 13 quota gate and the flag-d* tie-breaks read list state
+        # mutated by earlier envelopes of the same round), so the batching
+        # is in hoisting -- bind the list, the weight lookup, and the
+        # per-source bests once per round instead of once per envelope --
+        # and in the per-round stats below being O(1) kernel reads rather
+        # than full-list recounts.
+        list_v = self.list_v
+        gamma = self.gamma
+        best = self.best
+        budget = self.budget
+        weight_in = ctx.weight_in
         for env in inbox:
             y = env.src
-            w = ctx.weight_in(y)
+            w = weight_in(y)
             if w is None:
                 # Message arrived over the bidirectional channel of an
                 # edge v -> y; there is no edge y -> v to relax.
@@ -150,7 +174,7 @@ class PipelinedSSPProgram(Program):
             d_in, l_in, x, _flag_in, nu_in = env.payload
             d = d_in + w
             l = l_in + 1
-            kappa = key_of(d, l, self.gamma)
+            kappa = key_of(d, l, gamma)
             z = Entry(kappa, d, l, x, parent=y)
 
             # Steps 8-13: list maintenance.  flag-d* marks the entry with
@@ -161,7 +185,7 @@ class PipelinedSSPProgram(Program):
             # (larger d, fewer hops) that downstream nodes need for
             # *their* h-hop answers from Insert's eviction (the Figure 1
             # phenomenon; see tests/test_pipelined.py).
-            b = self.best[x]
+            b = best[x]
             if b.beats(d, l, y):
                 # Steps 9-11: new flag-d* holder.  Inserting the SP entry
                 # does not evict (the eviction clause of Insert applies to
@@ -172,7 +196,7 @@ class PipelinedSSPProgram(Program):
                 old = b.entry
                 z.flag_sp = True
                 b.d, b.l, b.parent, b.entry = d, l, y, z
-                pos = self.list_v.insert_sp(z)
+                pos = list_v.insert_sp(z)
                 if old is not None:
                     old.flag_sp = False
                     if old.sort_key == z.sort_key:
@@ -182,10 +206,10 @@ class PipelinedSSPProgram(Program):
                         # the newcomer, out of reach of the closest-above
                         # eviction, and would leak past the Invariant 2
                         # budget).
-                        self.list_v.remove(old)
+                        list_v.remove(old)
                     else:
-                        self.list_v.evict_over_budget(
-                            z, 0 if self.budget is None else self.budget)
+                        list_v.evict_over_budget(
+                            z, 0 if budget is None else budget)
                 if l <= self.h:
                     # an output-relevant improvement: Theorem I.1 bounds
                     # the round by which the last of these happens
@@ -194,14 +218,16 @@ class PipelinedSSPProgram(Program):
             else:
                 # Step 13: non-SP quota gate, then Insert with eviction of
                 # the closest non-SP same-source entry above.
-                below = self.list_v.count_for_source_below(x, z.sort_key)
+                below = list_v.count_for_source_below(x, z.sort_key)
                 if below < nu_in:
-                    pos, _removed = self.list_v.insert(z, self.budget)
+                    pos, _removed = list_v.insert(z, budget)
                     self._note_insert(r, z, pos)
 
-        self.max_list_len_seen = max(self.max_list_len_seen, len(self.list_v))
+        # O(1) on the kernel list (incremental max); a recount on the
+        # reference list.
+        self.max_list_len_seen = max(self.max_list_len_seen, len(list_v))
         self.max_per_source_seen = max(self.max_per_source_seen,
-                                       self.list_v.max_entries_any_source())
+                                       list_v.max_entries_any_source())
 
     def _note_insert(self, r: int, z: Entry, pos: int) -> None:
         if self.trace is not None:
@@ -278,6 +304,8 @@ def run_hk_ssp(graph: WeightedDigraph, sources: Sequence[int], h: int,
                directed_broadcast: bool = True,
                eviction: str = "budget",
                trace: Optional[TraceRecorder] = None,
+               record_sends: Optional[bool] = None,
+               list_kernel: str = "indexed",
                max_rounds: Optional[int] = None,
                fault_plan: Optional[object] = None,
                monitor: Optional[object] = None,
@@ -300,6 +328,19 @@ def run_hk_ssp(graph: WeightedDigraph, sources: Sequence[int], h: int,
     cutoff:
         Stop sends after the Lemma II.14 round bound (the real algorithm's
         termination rule).  Disable to observe natural quiescence.
+    record_sends:
+        Per-entry ``Entry.sent_at`` recording.  ``None`` (default) turns
+        it on exactly when something will read it: a ``trace``/``tracer``
+        recorder, a ``record_window``, or the paranoid kernel mode.
+        Force ``True`` to inspect send histories on a bare run
+        (:func:`repro.analysis.inspect.send_history`).
+    list_kernel:
+        ``"indexed"`` (default) -- the O(log n) bisection/per-source
+        kernels of :class:`repro.core.node_list.NodeList`; or
+        ``"reference"`` -- the naive linear-scan
+        :class:`~repro.core.node_list.ReferenceNodeList`, kept as the
+        differential baseline (E20 measures the gap).  Identical
+        observable behaviour either way.
     fault_plan / monitor / record_window:
         Forwarded to :class:`~repro.congest.network.Network`.  **Caveat**:
         Algorithm 1's schedule ``ceil(kappa + pos)`` *is* its correctness
@@ -356,13 +397,18 @@ def run_hk_ssp(graph: WeightedDigraph, sources: Sequence[int], h: int,
         # A Tracer is a TraceRecorder: program-level emits (sends,
         # inserts, promotions) land in its bounded ring.
         trace = tracer  # type: ignore[assignment]
+    if record_sends is None:
+        record_sends = (trace is not None or record_window > 0
+                        or _node_list.PARANOID)
 
     programs: List[PipelinedSSPProgram] = []
 
     def factory(v: int) -> PipelinedSSPProgram:
         p = PipelinedSSPProgram(v, sources, h, g, cutoff_round=cutoff_round,
                                 directed_broadcast=directed_broadcast,
-                                eviction=eviction, trace=trace)
+                                eviction=eviction, trace=trace,
+                                record_sends=record_sends,
+                                list_kernel=list_kernel)
         programs.append(p)
         return p
 

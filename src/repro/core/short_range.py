@@ -105,17 +105,39 @@ class ShortRangeProgram(Program):
         self.sends += 1
 
     def on_receive(self, ctx: NodeContext, r: int, inbox: List[Envelope]) -> None:
+        # Batched round processing: fold the whole inbox into locals and
+        # write the node state back once.  The reschedule semantics of
+        # :meth:`_schedule` are replicated exactly per improvement --
+        # ``pending`` is only overwritten when the improvement's target
+        # round is still ahead, so an improvement whose target has
+        # already passed keeps the previously scheduled round, just as
+        # the sequential per-envelope code did.
+        best_d, best_l, best_p = self.d, self.l, self.parent
+        pending = self._send_round
+        h = self.h
+        gamma2 = self.gamma2
+        weight_in = ctx.weight_in
+        ceil = math.ceil
+        improved = False
         for env in inbox:
-            w = ctx.weight_in(env.src)
+            w = weight_in(env.src)
             if w is None:
                 continue
             d_in, l_in = env.payload
             d, l = d_in + w, l_in + 1
-            if l > self.h:
+            if l > h:
                 continue  # beyond the short range
-            if d < self.d or (d == self.d and l < self.l):
-                self.d, self.l, self.parent = d, l, env.src
-                self._schedule(r)
+            if d < best_d or (d == best_d and l < best_l):
+                best_d, best_l, best_p = d, l, env.src
+                improved = True
+                target = ceil(d * gamma2 + l) + 1
+                if self.delay_tolerant:
+                    target = max(target, r + 1)
+                if target > r:
+                    pending = target
+        if improved:
+            self.d, self.l, self.parent = best_d, best_l, best_p
+            self._send_round = pending
 
     def next_active_round(self, ctx: NodeContext, r: int) -> Optional[int]:
         if self._send_round is None:
@@ -397,18 +419,32 @@ class KSourceShortRangeProgram(Program):
         self.sends += 1
 
     def on_receive(self, ctx: NodeContext, r: int, inbox: List[Envelope]) -> None:
+        # Batched: fold the inbox into the estimate dicts first, then fix
+        # up the due-queue once per improved *source* instead of once per
+        # improving envelope.  ``_due`` is order-insensitive (on_send
+        # sorts the ready entries, next_active_round takes a min), so the
+        # single filter-and-extend leaves behaviour unchanged; iterating
+        # the improved set sorted keeps the queue's repr deterministic.
+        best_d, best_l, best_p = self.d, self.l, self.parent
+        h = self.h
+        weight_in = ctx.weight_in
+        improved = set()
         for env in inbox:
-            w = ctx.weight_in(env.src)
+            w = weight_in(env.src)
             if w is None:
                 continue
             x, d_in, l_in = env.payload
             d, l = d_in + w, l_in + 1
-            if l > self.h:
+            if l > h:
                 continue
-            if x not in self.d or d < self.d[x] or (d == self.d[x] and l < self.l[x]):
-                self.d[x], self.l[x], self.parent[x] = d, l, env.src
-                # drop any stale queued send for x, reschedule
-                self._due = [(t, s) for t, s in self._due if s != x]
+            if x not in best_d or d < best_d[x] or (d == best_d[x] and l < best_l[x]):
+                best_d[x], best_l[x], best_p[x] = d, l, env.src
+                improved.add(x)
+        if improved:
+            # drop any stale queued sends for the improved sources,
+            # reschedule them at their final (d*, l*) of this round
+            self._due = [(t, s) for t, s in self._due if s not in improved]
+            for x in sorted(improved):
                 self._schedule(x, r)
 
     def next_active_round(self, ctx: NodeContext, r: int) -> Optional[int]:

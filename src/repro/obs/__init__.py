@@ -39,6 +39,7 @@ _EXPORTS = {
     "Gauge": ".registry",
     "HOT": ".profiling",
     "Histogram": ".registry",
+    "KERNEL_TIMERS": ".profiling",
     "MetricsRegistry": ".registry",
     "ProfileSession": ".profiling",
     "RegressionDelta": ".store",

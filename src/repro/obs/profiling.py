@@ -72,6 +72,14 @@ class _Hot:
 #: The module singleton every instrumented call site checks.
 HOT = _Hot()
 
+#: Timer names of the node-state kernels (:mod:`repro.core.node_list`).
+#: A HOT-profiled pipelined run must produce samples under every one of
+#: these names -- the CI profile-smoke step asserts exactly that, so a
+#: refactor cannot silently drop the instrumentation from the new hot
+#: paths (both the indexed and the reference kernel record under the
+#: same names; only the work inside the timer differs).
+KERNEL_TIMERS = ("node_list.fire_at", "node_list.next_fire_after")
+
 
 class ProfileSession:
     """Collects named-timer stats (and optionally a cProfile capture)

@@ -1,9 +1,20 @@
-"""Unit tests for the list_v data structure of Algorithm 1."""
+"""Unit tests for the list_v data structure of Algorithm 1.
+
+Every test runs against BOTH kernels -- the indexed ``NodeList`` and the
+naive ``ReferenceNodeList`` -- via the ``Kernel`` fixture: the two must
+be observably identical (the Hypothesis trace suite in
+test_node_list_kernels.py pins the same claim at scale).
+"""
 
 import pytest
 
-from repro.core import Entry, NodeList
+from repro.core import Entry, NodeList, ReferenceNodeList
 from repro.core.keys import send_round
+
+
+@pytest.fixture(params=["indexed", "reference"])
+def Kernel(request):
+    return {"indexed": NodeList, "reference": ReferenceNodeList}[request.param]
 
 
 def E(kappa, d, l, x, *, sp=False, parent=None):
@@ -11,8 +22,8 @@ def E(kappa, d, l, x, *, sp=False, parent=None):
 
 
 class TestOrdering:
-    def test_sorted_by_kappa_d_x(self):
-        nl = NodeList()
+    def test_sorted_by_kappa_d_x(self, Kernel):
+        nl = Kernel()
         e1 = E(5.0, 2, 1, 3)
         e2 = E(3.0, 1, 1, 1)
         e3 = E(5.0, 1, 3, 2)   # same kappa as e1, smaller d -> below
@@ -21,8 +32,8 @@ class TestOrdering:
         assert nl.entries() == [e2, e3, e1]
         assert nl.pos(e2) == 1 and nl.pos(e3) == 2 and nl.pos(e1) == 3
 
-    def test_equal_sort_key_newcomer_goes_above(self):
-        nl = NodeList()
+    def test_equal_sort_key_newcomer_goes_above(self, Kernel):
+        nl = Kernel()
         a = E(4.0, 2, 2, 7)
         b = E(4.0, 2, 2, 7)  # exact duplicate key
         nl.insert(a)
@@ -30,15 +41,15 @@ class TestOrdering:
         assert nl.entries() == [a, b]
         assert nl.pos(b) == 2
 
-    def test_pos_of_missing_entry_raises(self):
-        nl = NodeList()
+    def test_pos_of_missing_entry_raises(self, Kernel):
+        nl = Kernel()
         with pytest.raises(ValueError):
             nl.pos(E(1.0, 1, 0, 0))
 
 
 class TestCounts:
-    def test_nu_counts_same_source_at_or_below(self):
-        nl = NodeList()
+    def test_nu_counts_same_source_at_or_below(self, Kernel):
+        nl = Kernel()
         e1 = E(1.0, 1, 0, 5)
         e2 = E(2.0, 2, 0, 9)
         e3 = E(3.0, 3, 0, 5)
@@ -48,8 +59,8 @@ class TestCounts:
         assert nl.nu_of(e3) == 2
         assert nl.nu_of(e2) == 1
 
-    def test_count_for_source_below_includes_ties(self):
-        nl = NodeList()
+    def test_count_for_source_below_includes_ties(self, Kernel):
+        nl = Kernel()
         nl.insert(E(2.0, 1, 1, 4))
         nl.insert(E(4.0, 2, 2, 4))
         assert nl.count_for_source_below(4, (2.0, 1, 4)) == 1  # tie counts
@@ -57,8 +68,8 @@ class TestCounts:
         assert nl.count_for_source_below(4, (9.0, 9, 9)) == 2
         assert nl.count_for_source_below(5, (9.0, 9, 9)) == 0
 
-    def test_max_entries_any_source(self):
-        nl = NodeList()
+    def test_max_entries_any_source(self, Kernel):
+        nl = Kernel()
         for i in range(3):
             nl.insert(E(float(i), i, 0, 1))
         nl.insert(E(0.5, 0, 0, 2))
@@ -66,8 +77,8 @@ class TestCounts:
 
 
 class TestEviction:
-    def test_budget_none_always_evicts_closest_nonsp_above(self):
-        nl = NodeList()
+    def test_budget_none_always_evicts_closest_nonsp_above(self, Kernel):
+        nl = Kernel()
         sp = E(5.0, 3, 1, 1, sp=True)
         non1 = E(6.0, 4, 1, 1)
         non2 = E(8.0, 5, 1, 1)
@@ -80,24 +91,24 @@ class TestEviction:
         assert removed is non1  # closest non-SP above
         assert pos == 2
 
-    def test_sp_flag_protects_from_eviction(self):
-        nl = NodeList()
+    def test_sp_flag_protects_from_eviction(self, Kernel):
+        nl = Kernel()
         sp = E(6.0, 3, 1, 1, sp=True)
         nl.insert_sp(sp)
         newcomer = E(5.0, 2, 3, 1)
         _, removed = nl.insert(newcomer, budget=None)
         assert removed is None  # only non-SP entries above are victims
 
-    def test_budget_respected_no_eviction_below_budget(self):
-        nl = NodeList()
+    def test_budget_respected_no_eviction_below_budget(self, Kernel):
+        nl = Kernel()
         nl.insert(E(1.0, 1, 0, 1), budget=3)
         nl.insert(E(2.0, 2, 0, 1), budget=3)
         _, removed = nl.insert(E(0.5, 0, 1, 1), budget=3)
         assert removed is None
         assert len(nl) == 3
 
-    def test_budget_exceeded_triggers_eviction(self):
-        nl = NodeList()
+    def test_budget_exceeded_triggers_eviction(self, Kernel):
+        nl = Kernel()
         a = E(1.0, 1, 0, 1)
         b = E(2.0, 2, 0, 1)
         nl.insert(a, budget=2)
@@ -105,15 +116,15 @@ class TestEviction:
         _, removed = nl.insert(E(0.5, 0, 1, 1), budget=2)
         assert removed is a  # closest non-SP above the newcomer
 
-    def test_eviction_only_same_source(self):
-        nl = NodeList()
+    def test_eviction_only_same_source(self, Kernel):
+        nl = Kernel()
         other = E(2.0, 2, 0, 9)
         nl.insert(other, budget=None)
         _, removed = nl.insert(E(1.0, 1, 0, 1), budget=None)
         assert removed is None
 
-    def test_evict_over_budget_method(self):
-        nl = NodeList()
+    def test_evict_over_budget_method(self, Kernel):
+        nl = Kernel()
         sp = E(1.0, 0, 1, 1, sp=True)
         old = E(2.0, 1, 1, 1)
         nl.insert_sp(sp)
@@ -122,8 +133,8 @@ class TestEviction:
         assert nl.evict_over_budget(sp, budget=1) is old
         assert len(nl) == 1
 
-    def test_remove_by_identity(self):
-        nl = NodeList()
+    def test_remove_by_identity(self, Kernel):
+        nl = Kernel()
         a = E(1.0, 1, 0, 1)
         b = E(1.0, 1, 0, 1)
         nl.insert(a)
@@ -133,8 +144,8 @@ class TestEviction:
 
 
 class TestSendSchedule:
-    def test_fire_at_returns_scheduled_entry(self):
-        nl = NodeList()
+    def test_fire_at_returns_scheduled_entry(self, Kernel):
+        nl = Kernel()
         e1 = E(1.5, 1, 1, 1)   # pos 1 -> fires ceil(2.5) = 3
         e2 = E(4.0, 2, 2, 2)   # pos 2 -> fires 6
         nl.insert(e1)
@@ -143,10 +154,10 @@ class TestSendSchedule:
         assert nl.fire_at(6) is e2
         assert nl.fire_at(4) is None
 
-    def test_at_most_one_fire_per_round(self):
+    def test_at_most_one_fire_per_round(self, Kernel):
         """Sortedness + distinct positions make the schedule collision
         free (DESIGN.md sec. 6); build a dense list and check every round."""
-        nl = NodeList()
+        nl = Kernel()
         import random
         rng = random.Random(7)
         gamma = 1.4142135623730951
@@ -157,9 +168,92 @@ class TestSendSchedule:
         for r in range(1, 80):
             nl.fire_at(r)  # raises AssertionError on collision
 
-    def test_next_fire_after(self):
-        nl = NodeList()
+    def test_next_fire_after(self, Kernel):
+        nl = Kernel()
         e1 = E(1.5, 1, 1, 1)
         nl.insert(e1)
         assert nl.next_fire_after(0) == send_round(1.5, 1)
         assert nl.next_fire_after(send_round(1.5, 1)) is None
+
+class TestEdgeSemantics:
+    """The corner cases the kernel rewrite must not bend (ISSUE 5)."""
+
+    def test_empty_list_fire_and_next(self, Kernel):
+        nl = Kernel()
+        assert nl.fire_at(1) is None
+        assert nl.fire_at(10 ** 9) is None
+        assert nl.next_fire_after(0) is None
+        assert nl.next_fire_after(10 ** 9) is None
+
+    def test_equal_key_run_positions_and_nu(self, Kernel):
+        # a run of exact duplicates: newcomers stack above, pos/nu must
+        # stay per-entry exact (the ReferenceNodeList pos degrades to a
+        # linear walk here; the kernel's identity index must agree)
+        nl = Kernel()
+        run = [E(4.0, 2, 2, 7) for _ in range(6)]
+        for e in run:
+            nl.insert(e)
+        for i, e in enumerate(run):
+            assert nl.pos(e) == i + 1
+            assert nl.nu_of(e) == i + 1
+        below = E(1.0, 1, 0, 3)
+        nl.insert(below)
+        for i, e in enumerate(run):
+            assert nl.pos(e) == i + 2
+            assert nl.nu_of(e) == i + 1
+
+    def test_budget_none_vs_budget_eviction(self, Kernel):
+        # literal (budget=None) eviction fires on every insert; the
+        # budget-triggered policy only past the allowance
+        for budget, expect_evict in ((None, True), (3, False), (1, True)):
+            nl = Kernel()
+            a = E(1.0, 1, 0, 1)
+            b = E(3.0, 3, 0, 1)
+            nl.insert(a, budget=budget)
+            nl.insert(b, budget=budget)
+            _, removed = nl.insert(E(2.0, 2, 0, 1), budget=budget)
+            assert (removed is b) == expect_evict
+
+    def test_insert_sp_then_evict_over_budget_interplay(self, Kernel):
+        # the Steps 9-11 dance: insert_sp never evicts on its own; the
+        # follow-up evict_over_budget call takes the old entry only when
+        # the budget demands it, and only once demoted to non-SP
+        nl = Kernel()
+        old = E(5.0, 3, 1, 1, sp=True)
+        pad = E(7.0, 4, 1, 1)
+        nl.insert_sp(old)
+        nl.insert(pad, budget=None)
+        new = E(4.0, 2, 4, 1, sp=True)
+        assert nl.insert_sp(new) == 1
+        assert len(nl) == 3  # no eviction yet
+        old.flag_sp = False
+        assert nl.evict_over_budget(new, budget=3) is None
+        victim = nl.evict_over_budget(new, budget=2)
+        assert victim is old  # closest non-SP above the new SP entry
+        assert nl.entries() == [new, pad]
+
+    def test_remove_within_equal_key_run_keeps_identity(self, Kernel):
+        nl = Kernel()
+        run = [E(2.0, 1, 1, 4) for _ in range(4)]
+        for e in run:
+            nl.insert(e)
+        nl.remove(run[1])
+        assert nl.entries() == [run[0], run[2], run[3]]
+        assert [nl.pos(e) for e in (run[0], run[2], run[3])] == [1, 2, 3]
+        with pytest.raises(ValueError):
+            nl.pos(run[1])
+
+    def test_max_entries_tracks_eviction_and_removal(self, Kernel):
+        nl = Kernel()
+        ones = [E(float(i), i, 0, 1) for i in range(3)]
+        for e in ones:
+            nl.insert(e)
+        nl.insert(E(0.5, 0, 0, 2))
+        assert nl.max_entries_any_source() == 3
+        nl.remove(ones[2])
+        assert nl.max_entries_any_source() == 2
+        nl.remove(ones[0])
+        nl.remove(ones[1])
+        assert nl.max_entries_any_source() == 1
+        nl.remove(nl.entries()[0])
+        assert nl.max_entries_any_source() == 0

@@ -1,0 +1,251 @@
+"""Differential suite for the node-state kernels (ISSUE 5).
+
+Replays Hypothesis-generated operation traces -- inserts with every
+eviction policy, SP promotions with demote + evict_over_budget, identity
+removals, and the full query surface (pos/nu/count/fire) -- against both
+the indexed :class:`~repro.core.node_list.NodeList` and the naive
+:class:`~repro.core.node_list.ReferenceNodeList`, asserting observable
+equality after every step: entry sequences, 1-based positions, nu
+counts, eviction victims, fire rounds, and the incremental max.
+
+Twin entries: each operation creates one Entry per list (same data,
+distinct objects) so identity-based semantics (remove, eviction victims)
+are exercised on both sides independently.
+
+Also covers the REPRO_PARANOID debug mode: a paranoid run over a full
+trace must be silent, and a deliberately corrupted kernel index must be
+*caught* by the paranoid cross-checks (that the checks can fail is the
+test that they check anything).
+"""
+
+import math
+import random
+from typing import List, Optional, Tuple
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Entry, NodeList, ReferenceNodeList, set_paranoid
+from repro.core import node_list as nl_mod
+
+
+def _twin_pair(rng: random.Random, gamma: float, n_sources: int
+               ) -> Tuple[Entry, Entry]:
+    d = rng.randint(0, 8)
+    l = rng.randint(0, 8)
+    x = rng.randint(0, n_sources - 1)
+    kappa = d * gamma + l
+    return Entry(kappa, d, l, x), Entry(kappa, d, l, x)
+
+
+def _assert_equal_state(fast: NodeList, slow: ReferenceNodeList,
+                        live: List[Tuple[Entry, Entry]]) -> None:
+    assert len(fast) == len(slow)
+    assert [e.sort_key for e in fast] == [e.sort_key for e in slow]
+    assert fast.max_entries_any_source() == slow.max_entries_any_source()
+    for ef, es in live:
+        assert fast.pos(ef) == slow.pos(es)
+        assert fast.nu_of(ef) == slow.nu_of(es)
+        assert fast.count_for_source(ef.x) == slow.count_for_source(es.x)
+
+
+def _drop_pair(live: List[Tuple[Entry, Entry]],
+               removed_f: Optional[Entry], removed_s: Optional[Entry]) -> None:
+    assert (removed_f is None) == (removed_s is None)
+    if removed_f is None:
+        return
+    for i, (ef, es) in enumerate(live):
+        if ef is removed_f:
+            # the victims must be the *same* resident, not merely
+            # key-equal entries
+            assert es is removed_s
+            del live[i]
+            return
+    raise AssertionError("evicted entry was not a resident twin")
+
+
+def _run_trace(n_ops: int, seed: int, gamma: float, n_sources: int,
+               fast=None, slow=None) -> Tuple[NodeList, ReferenceNodeList]:
+    rng = random.Random(seed)
+    fast = NodeList() if fast is None else fast
+    slow = ReferenceNodeList() if slow is None else slow
+    live: List[Tuple[Entry, Entry]] = []
+    for _step in range(n_ops):
+        op = rng.random()
+        if op < 0.55 or not live:
+            # plain insert under a randomly chosen eviction policy
+            budget = rng.choice([None, 1, 2, 4])
+            ef, es = _twin_pair(rng, gamma, n_sources)
+            pos_f, rem_f = fast.insert(ef, budget)
+            pos_s, rem_s = slow.insert(es, budget)
+            assert pos_f == pos_s
+            live.append((ef, es))
+            _drop_pair(live, rem_f, rem_s)
+        elif op < 0.75:
+            # SP promotion: insert_sp, demote a random old same-source
+            # SP twin if any, then evict_over_budget (Steps 9-11)
+            ef, es = _twin_pair(rng, gamma, n_sources)
+            ef.flag_sp = es.flag_sp = True
+            assert fast.insert_sp(ef) == slow.insert_sp(es)
+            live.append((ef, es))
+            for of, os_ in live:
+                if of is not ef and of.x == ef.x and of.flag_sp:
+                    of.flag_sp = os_.flag_sp = False
+                    break
+            budget = rng.choice([1, 2, 4])
+            _drop_pair(live, fast.evict_over_budget(ef, budget),
+                       slow.evict_over_budget(es, budget))
+        elif op < 0.85:
+            ef, es = live[rng.randrange(len(live))]
+            fast.remove(ef)
+            slow.remove(es)
+            live.remove((ef, es))
+        else:
+            # query-only step: the send schedule
+            r = rng.randint(1, 40)
+            ff, sf = fast.fire_at(r), slow.fire_at(r)
+            assert (ff is None) == (sf is None)
+            if ff is not None:
+                assert fast.pos(ff) == slow.pos(sf)
+                assert ff.sort_key == sf.sort_key
+            assert fast.next_fire_after(r) == slow.next_fire_after(r)
+        # spot probes every step
+        if live:
+            ef, es = live[rng.randrange(len(live))]
+            assert fast.pos(ef) == slow.pos(es)
+            assert fast.nu_of(ef) == slow.nu_of(es)
+            qx = rng.randint(0, n_sources - 1)
+            qkey = (rng.randint(0, 8) * gamma + rng.randint(0, 8),
+                    rng.randint(0, 8), qx)
+            assert fast.count_for_source_below(qx, qkey) == \
+                slow.count_for_source_below(qx, qkey)
+        assert fast.max_entries_any_source() == slow.max_entries_any_source()
+    _assert_equal_state(fast, slow, live)
+    for r in range(1, 60):
+        ff, sf = fast.fire_at(r), slow.fire_at(r)
+        assert (ff is None) == (sf is None)
+        assert fast.next_fire_after(r) == slow.next_fire_after(r)
+    return fast, slow
+
+
+@st.composite
+def traces(draw):
+    return (draw(st.integers(min_value=1, max_value=60)),
+            draw(st.integers(min_value=0, max_value=10 ** 6)),
+            draw(st.sampled_from([1.0, math.sqrt(2), 3.5, 0.25])),
+            draw(st.sampled_from([1, 2, 4, 8])))
+
+
+@settings(max_examples=220, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(traces())
+def test_kernel_matches_reference_over_traces(trace):
+    """>= 200 Hypothesis traces: the acceptance-criterion pin."""
+    n_ops, seed, gamma, n_sources = trace
+    _run_trace(n_ops, seed, gamma, n_sources)
+
+
+def test_kernel_matches_reference_long_trace():
+    """One long deterministic trace (deeper than Hypothesis' examples)."""
+    _run_trace(2000, seed=20, gamma=math.sqrt(2), n_sources=6)
+
+
+def test_duplicate_key_storm():
+    """Heavy exact-duplicate traffic: the regime where the old pos()
+    degraded to O(n) and where per-source tie handling must exactly
+    mirror the global bisect_right placement."""
+    fast, slow = NodeList(), ReferenceNodeList()
+    live = []
+    for i in range(120):
+        x = i % 3
+        ef, es = Entry(2.0, 1, 1, x), Entry(2.0, 1, 1, x)
+        pf, rf = fast.insert(ef, 10 ** 9)
+        ps, rs = slow.insert(es, 10 ** 9)
+        assert pf == ps and rf is None and rs is None
+        live.append((ef, es))
+    rng = random.Random(1)
+    rng.shuffle(live)
+    for ef, es in live[:60]:
+        fast.remove(ef)
+        slow.remove(es)
+    rest = live[60:]
+    _assert_equal_state(fast, slow, rest)
+
+
+def test_paranoid_mode_silent_on_correct_kernel():
+    prev = set_paranoid(True)
+    try:
+        _run_trace(300, seed=11, gamma=1.0, n_sources=3)
+    finally:
+        set_paranoid(prev)
+
+
+def test_paranoid_mode_catches_corrupted_index():
+    """Corrupt each internal index in turn; every paranoid query family
+    must trip an AssertionError -- proof the cross-checks check."""
+    def fresh():
+        nl = NodeList()
+        for i in range(8):
+            nl.insert(Entry(float(i), i, 0, i % 2), budget=None)
+        return nl
+
+    prev = set_paranoid(True)
+    try:
+        nl = fresh()
+        nl._max_count += 1  # desync the count histogram
+        with pytest.raises(AssertionError):
+            nl.max_entries_any_source()
+
+        nl = fresh()
+        e = nl.entries()[3]
+        nl._keys[2], nl._keys[3] = nl._keys[3], nl._keys[2]  # unsort keys
+        with pytest.raises(AssertionError):
+            nl.pos(e)
+
+        nl = fresh()
+        e = nl.entries()[0]
+        e._li = 1  # break the identity index
+        with pytest.raises((AssertionError, ValueError)):
+            nl.nu_of(e)
+    finally:
+        set_paranoid(prev)
+
+
+def test_paranoid_fire_at_asserts_at_most_one_send():
+    """The reference fire_at (and paranoid kernel fire_at) must reject a
+    hand-built list violating the at-most-one-send property.  Such a
+    list cannot arise from sorted inserts -- build it by hand."""
+    slow = ReferenceNodeList()
+    a, b = Entry(1.2, 1, 0, 0), Entry(0.4, 0, 1, 1)
+    slow._entries = [a, b]  # unsorted: both fire in round ceil at 3
+    slow._keys = [a.sort_key, b.sort_key]
+    assert math.ceil(a.kappa + 1) == math.ceil(b.kappa + 2) == 3
+    with pytest.raises(AssertionError):
+        slow.fire_at(3)
+
+    prev = set_paranoid(True)
+    try:
+        fast = NodeList()
+        fast._entries = [a, b]
+        fast._keys = [a.sort_key, b.sort_key]
+        with pytest.raises(AssertionError):
+            fast.fire_at(3)
+    finally:
+        set_paranoid(prev)
+
+
+def test_module_flag_reads_environment(tmp_path):
+    """REPRO_PARANOID=1 in the environment seeds the module flag."""
+    import subprocess
+    import sys
+    import os
+    code = ("import repro.core.node_list as m; "
+            "print(m.PARANOID)")
+    env = dict(os.environ, REPRO_PARANOID="1",
+               PYTHONPATH=os.pathsep.join(["src"] +
+                                          os.environ.get("PYTHONPATH", "").split(os.pathsep)))
+    out = subprocess.run([sys.executable, "-c", code], env=env, cwd=".",
+                         capture_output=True, text=True, check=True)
+    assert out.stdout.strip() == "True"
+    assert nl_mod.PARANOID in (True, False)
