@@ -17,6 +17,7 @@ from .sweep import (
     sweep_fault_tolerance,
     sweep_invariants,
     sweep_node_kernels,
+    sweep_recovery,
     sweep_short_range,
     sweep_table1_exact,
     sweep_theorem11_apsp,
@@ -44,6 +45,7 @@ __all__ = [
     "sweep_fault_tolerance",
     "sweep_invariants",
     "sweep_node_kernels",
+    "sweep_recovery",
     "sweep_short_range",
     "sweep_table1_exact",
     "sweep_theorem11_apsp",

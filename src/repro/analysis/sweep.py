@@ -433,3 +433,94 @@ def sweep_fault_tolerance(*, drop_rates: Sequence[float] = (0.0, 0.01, 0.05, 0.1
                             overhead_messages=(round(m.messages / b.messages, 2)
                                                if b and b.messages else None))
     return rep
+
+
+def sweep_recovery(*, seeds: Sequence[int] = (0, 1),
+                   sizes: Sequence[int] = (10, 14),
+                   report: Optional[ExperimentReport] = None
+                   ) -> ExperimentReport:
+    """E21: incremental re-convergence under churn -- rounds_to_repair of
+    a :class:`~repro.recovery.DynamicRun` vs the from-scratch recompute
+    cost, plus crash-during-update recovery pinned across backends.
+
+    Two row families, both fully deterministic (no wall clock):
+
+    * ``update=increase|decrease`` -- a single-edge weight change on a
+      clean run; ``measured`` is ``rounds_to_repair`` (only the affected
+      sources re-run), ``bound`` is the from-scratch recompute round
+      count on the same updated graph (``compare_full=True``).  The
+      repair must be correct (``correct=1`` from the Dijkstra oracle)
+      and never cost more rounds than recomputing; when the update
+      leaves some source's tree untouched it must be strictly cheaper.
+    * ``update=crash`` -- the same single-edge update applied while a
+      node crashes mid-repair and restarts from its checkpoint
+      (delays + duplicates active).  The row is executed on *both*
+      simulator backends and their instrumented digests are asserted
+      bit-identical, the E19 cross-backend pinning pattern.
+    """
+    from ..faults.plan import CrashWindow, FaultPlan
+    from ..recovery import DynamicRun, EdgeUpdate
+    import random as _random
+
+    rep = report or ExperimentReport(
+        "E21", "Recovery: incremental repair rounds <= from-scratch "
+               "recompute; crash-during-update runs oracle-correct and "
+               "backend-pinned")
+    for seed in seeds:
+        for n in sizes:
+            g = random_graph(n, p=0.35, w_max=8, zero_fraction=0.2,
+                             seed=seed)
+            rng = _random.Random(seed * 1000 + n)
+            sources = sorted(rng.sample(range(n), 3))
+            u, v, w = rng.choice(sorted(g.edges()))
+            for update, w_new in (("increase", w + 3),
+                                  ("decrease", max(0, w - 1) if w else 0)):
+                run = DynamicRun(g, sources, method="bellman-ford",
+                                 compare_full=True)
+                rec = run.apply(EdgeUpdate(u, v, w_new))
+                correct = not run.oracle_check()
+                assert rec.rounds_to_repair <= rec.full_rounds, (
+                    f"E21 seed={seed} n={n} {update}: repair "
+                    f"({rec.rounds_to_repair} rounds) costs more than the "
+                    f"from-scratch recompute ({rec.full_rounds})")
+                if len(rec.affected) < len(sources):
+                    assert rec.rounds_to_repair < rec.full_rounds, (
+                        f"E21 seed={seed} n={n} {update}: "
+                        f"{len(rec.affected)}/{len(sources)} sources "
+                        f"affected but repair was not strictly cheaper")
+                rep.add({"seed": seed, "n": n, "update": update,
+                         "k": len(sources), "affected": len(rec.affected)},
+                        measured=rec.rounds_to_repair,
+                        bound=rec.full_rounds,
+                        correct=int(correct),
+                        saved_rounds=rec.full_rounds - rec.rounds_to_repair)
+
+            # Crash-during-update: same edge update, node crash +
+            # checkpoint restart mid-repair, pinned across backends.
+            plan = FaultPlan(
+                seed=seed + 1, delay_rate=0.1, duplicate_rate=0.05,
+                max_delay=2,
+                crashes=(CrashWindow(rng.randrange(n), 4, 10,
+                                     restart_from="checkpoint"),))
+            digests, repairs = {}, {}
+            for backend in ("reference", "fast"):
+                run = DynamicRun(g, sources, fault_plan=plan,
+                                 checkpoint_every=4, backend=backend)
+                run.apply(EdgeUpdate(u, v, w + 3))
+                assert not run.oracle_check(), (
+                    f"E21 seed={seed} n={n} crash: backend {backend} "
+                    f"repaired to wrong distances")
+                digests[backend] = run.digest()
+                repairs[backend] = run.metrics.rounds_to_repair
+            assert digests["reference"] == digests["fast"], (
+                f"E21 seed={seed} n={n} crash: backends disagree on the "
+                f"instrumented digest -- reference "
+                f"{digests['reference'][:12]} vs fast "
+                f"{digests['fast'][:12]}")
+            rep.add({"seed": seed, "n": n, "update": "crash",
+                     "k": len(sources), "affected": -1},
+                    measured=repairs["reference"],
+                    correct=1,
+                    backends_agree=1,
+                    digest=digests["reference"][:12])
+    return rep

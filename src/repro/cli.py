@@ -10,13 +10,20 @@ Commands operate on graph files in the plain-text format of
 * ``hkssp`` -- the (h, k)-SSP problem (the paper's weak contract);
 * ``approx``-- (1+eps)-approximate APSP;
 * ``bounds``-- evaluate the paper's bound formulas for given parameters;
-* ``bench`` -- run one of the experiment sweeps (E1-E20) and print its
+* ``bench`` -- run one of the experiment sweeps (E1-E21) and print its
   measured-vs-bound table, optionally fanned out across worker
   processes (``--jobs N``) via :class:`repro.perf.SweepExecutor`;
 * ``explain``-- replay how one node learned its distance from one source;
 * ``faults``-- run an algorithm under seeded fault injection (drops,
   duplicates, delays, corruption, crashes), optionally with the
   ack/retransmit resilience wrapper, and report what happened;
+* ``recover``-- run Bellman-Ford where crashed nodes restart *from their
+  periodic checkpoints* (``--crash V@R:R2``), roll back, and
+  re-synchronize via neighbor replay; reports snapshots/rollbacks/
+  replays and checks the answer against Dijkstra;
+* ``dynamic``-- incremental re-convergence: apply edge/node updates to a
+  completed run and re-run only the affected sources, reporting
+  ``rounds_to_repair`` vs the from-scratch recompute cost;
 * ``obs``   -- the observability subsystem: ``obs run`` executes an
   algorithm with tracing/metrics/profiling attached and renders an
   ASCII dashboard (optionally exporting the trace as JSONL), ``obs
@@ -202,6 +209,7 @@ def cmd_bench(args, out) -> int:
         "E18": lambda: [sweep_mod.sweep_fault_tolerance()],
         "E19": lambda: [sweep_mod.sweep_backend_speedup()],
         "E20": lambda: [sweep_mod.sweep_node_kernels()],
+        "E21": lambda: [sweep_mod.sweep_recovery()],
     }
     key = args.experiment.upper()
     if key == "ALL":
@@ -266,7 +274,7 @@ def cmd_faults(args, out) -> int:
     out.write(f"fault plan: {plan.describe()}\n")
     out.write(f"wrapper   : {wrapper}\n")
     from .congest import RoundLimitExceeded
-    from .faults import InvariantViolation
+    from .faults import InvariantViolation, UnreachablePeer
 
     try:
         if args.algorithm == "bellman-ford":
@@ -280,12 +288,19 @@ def cmd_faults(args, out) -> int:
                                   resilient=resilient, timeout=args.timeout,
                                   backend=args.backend)
             contract = [res.hops[v] <= h for v in range(g.n)]
-    except (RoundLimitExceeded, InvariantViolation) as exc:
-        # A permanent crash never quiesces (retransmission to a dead
-        # node cannot stop); an invariant violation is the monitor
-        # firing.  Either way the post-mortem is the answer.
+    except (RoundLimitExceeded, InvariantViolation, UnreachablePeer) as exc:
+        # A permanent crash either trips the wrapper's unreachable-peer
+        # threshold (fail-fast, with post-mortem) or never quiesces
+        # (retransmission to a dead node cannot stop); an invariant
+        # violation is the monitor firing.  Either way the post-mortem
+        # is the answer.
         out.write(f"RESULT: FAILED ({type(exc).__name__})\n")
         out.write(str(exc) + "\n")
+        # RoundLimitExceeded embeds its post-mortem in the message; the
+        # unreachable-peer fail-fast carries it separately.
+        pm = getattr(exc, "post_mortem", None)
+        if isinstance(exc, UnreachablePeer) and pm is not None:
+            out.write(pm.render() + "\n")
         return 1
 
     m = res.metrics
@@ -314,6 +329,129 @@ def cmd_faults(args, out) -> int:
     return 1 if wrong else 0
 
 
+def cmd_recover(args, out) -> int:
+    import dataclasses
+
+    from .congest import RoundLimitExceeded
+    from .core.bellman_ford import BellmanFordProgram
+    from .faults import CrashWindow, FaultPlan
+    from .graphs.reference import dijkstra
+    from .recovery import run_recoverable
+
+    g = gio.load(args.graph)
+    if not (0 <= args.source < g.n):
+        raise ValueError(f"source {args.source} out of range for n={g.n}")
+    crashes = []
+    for spec in args.crash or ():
+        cw = CrashWindow.parse(spec)
+        if cw.restart_round is None:
+            raise ValueError(
+                f"crash spec {spec!r}: checkpoint recovery needs a restart "
+                f"round -- use 'V@R:R2' (a node that never restarts has "
+                f"nothing to recover)")
+        if cw.restart_from != "checkpoint":
+            # This command *is* the checkpoint path; accept plain specs.
+            cw = dataclasses.replace(cw, restart_from="checkpoint")
+        crashes.append(cw)
+    plan = FaultPlan(
+        seed=args.fault_seed,
+        duplicate_rate=args.duplicate_rate,
+        delay_rate=args.delay_rate,
+        max_delay=args.max_delay,
+        crashes=tuple(crashes),
+    )
+    out.write(f"fault plan: {plan.describe()}\n")
+    out.write(f"checkpoints: every {args.checkpoint_every} rounds\n")
+    max_rounds = args.max_rounds or 40 * (g.n + 2) + 200
+    try:
+        outs, metrics, _net, stats = run_recoverable(
+            g, lambda v: BellmanFordProgram(v, args.source), max_rounds,
+            fault_plan=plan, checkpoint_every=args.checkpoint_every,
+            backend=args.backend)
+    except RoundLimitExceeded as exc:
+        out.write(f"RESULT: FAILED ({type(exc).__name__})\n")
+        out.write(str(exc) + "\n")
+        return 1
+    _metrics_report(metrics, out)
+    s = stats.as_dict()
+    out.write(f"recovery: {s['snapshots']} snapshots, "
+              f"{s['rollbacks']} rollbacks, "
+              f"{s['replayed_frames']} frames replayed "
+              f"({s['replay_gaps']} replay gaps)\n")
+    injected = {k: c for k, c in sorted(metrics.faults.items()) if c}
+    out.write(f"injected faults: {injected or 'none'}\n")
+    dist = [o[0] for o in outs]
+    true, _ = dijkstra(g, args.source)
+    wrong = [v for v in range(g.n) if dist[v] != true[v]]
+    if wrong:
+        out.write(f"RESULT: INCORRECT at {len(wrong)} node(s): "
+                  f"{wrong[:10]}\n")
+        for v in wrong[:5]:
+            out.write(f"  node {v}: got {_fmt(dist[v])}, "
+                      f"true {_fmt(true[v])}\n")
+    else:
+        out.write("RESULT: correct (matches Dijkstra at every node)\n")
+    if not args.quiet:
+        out.write(f"{args.source}: " + " ".join(_fmt(d) for d in dist) + "\n")
+    return 1 if wrong else 0
+
+
+def _parse_dynamic_events(args):
+    from .recovery import EdgeUpdate, NodeJoin, NodeLeave
+
+    events = []
+    for spec in args.update or ():
+        parts = spec.split(",")
+        if len(parts) != 3:
+            raise ValueError(
+                f"bad update spec {spec!r}: expected 'U,V,W' (weight) or "
+                f"'U,V,-' (delete)")
+        u, v = int(parts[0]), int(parts[1])
+        w = None if parts[2] in ("-", "x", "del") else int(parts[2])
+        events.append(EdgeUpdate(u, v, w))
+    for spec in args.leave or ():
+        events.append(NodeLeave(int(spec)))
+    for spec in args.join or ():
+        node_s, _, edges_s = spec.partition(":")
+        edges = tuple(
+            tuple(int(x) for x in e.split("-"))
+            for e in edges_s.split(";") if e)
+        events.append(NodeJoin(int(node_s), edges))
+    return events
+
+
+def cmd_dynamic(args, out) -> int:
+    from .recovery import DynamicRun
+
+    g = gio.load(args.graph)
+    sources = [int(s) for s in args.sources.split(",")]
+    events = _parse_dynamic_events(args)
+    if not events:
+        raise ValueError(
+            "no updates given -- pass --update U,V,W (or U,V,- to delete), "
+            "--leave V, and/or --join 'V:U-V-W;...'")
+    run = DynamicRun(g, sources, method=args.method, compare_full=True,
+                     backend=args.backend)
+    out.write(f"initial run: {run.metrics.rounds} rounds, "
+              f"k={len(run.sources)} sources\n")
+    rec = run.apply(*events)
+    out.write(f"applied {len(rec.events)} event(s); affected sources: "
+              f"{list(rec.affected) or 'none'}\n")
+    out.write(f"rounds to repair: {rec.rounds_to_repair}"
+              + (f" (from-scratch recompute: {rec.full_rounds})"
+                 if rec.full_rounds is not None else "") + "\n")
+    mismatches = run.oracle_check()
+    if mismatches:
+        out.write(f"RESULT: INCORRECT at {len(mismatches)} (source, node) "
+                  f"pair(s): {mismatches[:5]}\n")
+    else:
+        out.write("RESULT: correct (matches Dijkstra on the updated "
+                  "graph)\n")
+    if not args.quiet:
+        _print_distances(run.table, run.sources, run.graph.n, out)
+    return 1 if mismatches else 0
+
+
 #: The deterministic micro-suite behind ``repro obs bench --suite smoke``
 #: (and CI's benchmark smoke job): fixed-seed, small-size variants of
 #: three headline sweeps.  Round counts are deterministic, so identical
@@ -331,6 +469,10 @@ _SMOKE_SUITE = (
     # benchmarks/bench_node_kernels.py, not the smoke compare).
     ("repro.analysis.sweep:sweep_node_kernels",
      {"sizes": ((48, 8, 24),), "timing": False}),
+    # E21 is clock-free by construction (round counts + digests), so the
+    # whole recovery row family can sit in the deterministic record.
+    ("repro.analysis.sweep:sweep_recovery",
+     {"seeds": (0,), "sizes": (10,)}),
 )
 
 
@@ -489,7 +631,7 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("-q", "--quiet", action="store_true")
     ap.set_defaults(func=cmd_approx)
 
-    be = sub.add_parser("bench", help="run an experiment sweep (E1-E20 or all)")
+    be = sub.add_parser("bench", help="run an experiment sweep (E1-E21 or all)")
     be.add_argument("experiment", help="experiment id, e.g. E2, or 'all'")
     be.add_argument("--jobs", type=int, default=1, metavar="N",
                     help="fan seed-splittable sweeps out across N worker "
@@ -532,6 +674,47 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("-q", "--quiet", action="store_true")
     _add_backend_flag(f)
     f.set_defaults(func=cmd_faults)
+
+    rc = sub.add_parser(
+        "recover",
+        help="crash-recovery run: crashed nodes restart from checkpoints")
+    rc.add_argument("graph")
+    rc.add_argument("--source", type=int, default=0)
+    rc.add_argument("--crash", action="append", metavar="V@R:R2",
+                    required=True,
+                    help="crash node V at round R, restart (from its "
+                         "latest checkpoint) at round R2; repeatable")
+    rc.add_argument("--checkpoint-every", type=int, default=8,
+                    help="rounds between periodic node snapshots")
+    rc.add_argument("--fault-seed", type=int, default=0)
+    rc.add_argument("--duplicate-rate", type=float, default=0.0)
+    rc.add_argument("--delay-rate", type=float, default=0.0)
+    rc.add_argument("--max-delay", type=int, default=3)
+    rc.add_argument("--max-rounds", type=int,
+                    help="override the quiescence budget")
+    rc.add_argument("-q", "--quiet", action="store_true")
+    _add_backend_flag(rc)
+    rc.set_defaults(func=cmd_recover)
+
+    dy = sub.add_parser(
+        "dynamic",
+        help="incremental re-convergence: apply graph updates, re-run "
+             "only the affected sources")
+    dy.add_argument("graph")
+    dy.add_argument("--sources", required=True, help="comma-separated ids")
+    dy.add_argument("--method", default="auto",
+                    choices=["auto", "pipelined", "bellman-ford"])
+    dy.add_argument("--update", action="append", metavar="U,V,W",
+                    help="set edge (U,V) to weight W, or delete it with "
+                         "'U,V,-'; repeatable")
+    dy.add_argument("--leave", action="append", metavar="V",
+                    help="remove node V and its incident edges; repeatable")
+    dy.add_argument("--join", action="append", metavar="V:U-V-W;...",
+                    help="(re-)attach node V with the given edges, e.g. "
+                         "'5:5-2-1;4-5-2'; repeatable")
+    dy.add_argument("-q", "--quiet", action="store_true")
+    _add_backend_flag(dy)
+    dy.set_defaults(func=cmd_dynamic)
 
     o = sub.add_parser(
         "obs",

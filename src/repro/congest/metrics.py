@@ -70,6 +70,14 @@ class RunMetrics:
     #: algorithm paid for -- regardless of the fate recorded here.
     faults: Counter = field(default_factory=Counter)
 
+    #: Rounds spent repairing after graph updates: the execution rounds
+    #: of the incremental affected-source recomputes performed by
+    #: :class:`repro.recovery.DynamicRun` (0 for static runs).  These
+    #: rounds are *also* counted in ``rounds``; this field isolates the
+    #: repair cost so it can be compared against a from-scratch
+    #: recompute.
+    rounds_to_repair: int = 0
+
     def set_fault_stats(self, stats: Dict[str, int]) -> None:
         """Overwrite the fault counters with an injector's final tally."""
         self.faults = Counter(stats)
@@ -124,6 +132,7 @@ class RunMetrics:
         "retransmissions": "add",
         "ack_messages": "add",
         "faults": "add",
+        "rounds_to_repair": "add",   # total rounds spent repairing
     }
 
     def merged_with(self, other: "RunMetrics") -> "RunMetrics":
@@ -168,6 +177,8 @@ class RunMetrics:
             out["ack_messages"] = self.ack_messages
         if self.faults:
             out["faults"] = sum(self.faults.values())
+        if self.rounds_to_repair:
+            out["rounds_to_repair"] = self.rounds_to_repair
         return out
 
 

@@ -372,6 +372,38 @@ class Network:
 
     # ------------------------------------------------------------------
 
+    def core_state(self) -> Dict[str, Any]:
+        """The execution-core state needed to resume this run in a fresh
+        network: last processed round, the started flag, and the fault
+        injector's resumable state (``None`` when fault-free).
+
+        The send schedule is deliberately *not* part of the state --
+        :meth:`run` re-derives it from the programs on every (re)entry,
+        identically on both backends, so restoring program state plus
+        this dict reproduces the interrupted execution exactly.
+        Program state and metrics are captured separately by
+        :mod:`repro.recovery.checkpoint`.
+        """
+        inj = self.fault_injector
+        return {
+            "round": self._round,
+            "started": self._started,
+            "injector": None if inj is None else inj.state_snapshot(),
+        }
+
+    def restore_core_state(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`core_state` output into this network (built
+        with the same graph, factory, and fault plan)."""
+        self._round = int(state["round"])
+        self._started = bool(state["started"])
+        inj_state = state.get("injector")
+        if inj_state is not None:
+            if self.fault_injector is None:
+                raise ValueError(
+                    "checkpoint carries fault-injector state but this "
+                    "network was built without a fault plan")
+            self.fault_injector.restore_state(inj_state)
+
     def outputs(self) -> List[Any]:
         """Per-node outputs after :meth:`run` (``Program.output``)."""
         return [self.programs[v].output(self.contexts[v]) for v in range(self.n)]

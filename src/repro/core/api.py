@@ -85,25 +85,43 @@ def apsp(graph: WeightedDigraph, *, method: str = "auto",
 def k_ssp(graph: WeightedDigraph, sources: Sequence[int], *,
           method: str = "auto", delta: Optional[int] = None,
           h: Optional[int] = None,
+          monitor: Optional[object] = None,
           tracer: Optional[object] = None,
           registry: Optional[object] = None,
           backend: Optional[str] = None) -> APSPResult:
     """Exact shortest paths from ``k`` given sources (Theorem I.1(iii) /
     I.2(ii) / I.3(ii)); same methods and ``backend`` semantics as
-    :func:`apsp`."""
+    :func:`apsp`.
+
+    ``monitor`` attaches an
+    :class:`~repro.faults.monitor.InvariantMonitor` to the executing
+    network(s) -- supported for the single-network methods
+    (``"pipelined"``, ``"bellman-ford"``); the multi-phase blocker
+    method rejects it (its intermediate phases exchange non-distance
+    payloads the invariants do not describe).  Used by
+    :class:`repro.recovery.DynamicRun` to keep every incremental repair
+    under invariant checks.
+    """
     if method == "auto":
         est = _estimate_bounds(graph, len(set(sources)))
         method = min(est, key=est.get)  # type: ignore[arg-type]
     if method == "pipelined":
-        return run_k_ssp(graph, sources, delta, tracer=tracer,
-                         registry=registry, backend=backend)
+        return run_k_ssp(graph, sources, delta, monitor=monitor,
+                         tracer=tracer, registry=registry, backend=backend)
     if method == "blocker":
+        if monitor is not None:
+            raise ValueError(
+                "method='blocker' does not support a monitor: its "
+                "multi-phase execution exchanges auxiliary payloads the "
+                "invariant extractors do not recognise; use "
+                "method='pipelined' or 'bellman-ford'")
         with use_backend(backend):
             return run_kssp_blocker(graph, sources, h, delta=delta,
                                     tracer=tracer, registry=registry)
     if method == "bellman-ford":
-        return run_bellman_ford_kssp(graph, sources, tracer=tracer,
-                                     registry=registry, backend=backend)
+        return run_bellman_ford_kssp(graph, sources, monitor=monitor,
+                                     tracer=tracer, registry=registry,
+                                     backend=backend)
     raise ValueError(f"unknown k-SSP method {method!r}")
 
 

@@ -173,6 +173,7 @@ class BellmanFordKSSPResult:
 
 def run_bellman_ford_kssp(graph: WeightedDigraph, sources: Sequence[int],
                           *, max_hops: Optional[int] = None,
+                          monitor: Optional[object] = None,
                           tracer: Optional[object] = None,
                           registry: Optional[object] = None,
                           backend: Optional[str] = None
@@ -183,7 +184,10 @@ def run_bellman_ford_kssp(graph: WeightedDigraph, sources: Sequence[int],
     With a ``tracer`` the whole baseline runs under one
     ``bellman-ford-kssp`` span with a child span per source; a
     ``registry`` accumulates every per-source run (delta-published, so
-    the registry view equals the merged metrics)."""
+    the registry view equals the merged metrics); a ``monitor`` is
+    attached to every per-source network (safe to share across the
+    sequential runs: its baselines are keyed per source, and each
+    source appears in exactly one run)."""
     from contextlib import nullcontext
 
     srcs = tuple(dict.fromkeys(sources))
@@ -195,6 +199,7 @@ def run_bellman_ford_kssp(graph: WeightedDigraph, sources: Sequence[int],
     with cm as sp:
         for s in srcs:
             res = run_bellman_ford(graph, s, max_hops=max_hops,
+                                   monitor=monitor,
                                    tracer=tracer, registry=registry,
                                    backend=backend)
             dist[s] = res.dist

@@ -45,7 +45,7 @@ from .plan import (
     LinkFailure,
     corrupt_payload,
 )
-from .resilient import ResilientProgram, run_resilient
+from .resilient import ResilientProgram, UnreachablePeer, run_resilient
 from .watchdog import PostMortem, build_post_mortem
 
 __all__ = [
@@ -63,6 +63,7 @@ __all__ = [
     "PipelineScheduleInvariant",
     "PostMortem",
     "ResilientProgram",
+    "UnreachablePeer",
     "build_post_mortem",
     "corrupt_payload",
     "distance_map",

@@ -86,11 +86,53 @@ class LinkFailure:
 @dataclass(frozen=True)
 class CrashWindow:
     """Node ``node`` is down from ``crash_round`` until ``restart_round``
-    (exclusive); ``restart_round=None`` is a permanent crash."""
+    (exclusive); ``restart_round=None`` is a permanent crash.
+
+    ``restart_from`` selects what state the node restarts with:
+
+    * ``"state"`` (default) -- the historical omission semantics: the
+      node's local state machine kept ticking while down, so it resumes
+      from its current in-memory state (equivalent to a crash-restart
+      from perfectly fresh stable storage);
+    * ``"checkpoint"`` -- the node *loses* its volatile state: at
+      ``restart_round`` it must roll back to its last durable snapshot
+      and re-synchronize with its neighbours.  The injector itself
+      treats both modes identically (an omission window); the rollback
+      and replay are performed by
+      :class:`repro.recovery.RecoverableProgram`, which reads the
+      window's mode.  A permanent crash cannot restart from a
+      checkpoint (there is no restart round to roll back at).
+    """
 
     node: int
     crash_round: int
     restart_round: Optional[int] = None
+    restart_from: str = "state"
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError(
+                f"crash node must be a node id >= 0, got {self.node}")
+        if self.crash_round < 0:
+            raise ValueError(
+                f"crash_round must be >= 0, got {self.crash_round}")
+        if self.restart_round is not None:
+            if self.restart_round < 0:
+                raise ValueError(
+                    f"restart_round must be >= 0, got {self.restart_round}")
+            if self.restart_round <= self.crash_round:
+                raise ValueError(
+                    f"restart_round must be > crash_round for the window "
+                    f"to ever be down, got crash_round={self.crash_round} "
+                    f"restart_round={self.restart_round}")
+        if self.restart_from not in ("state", "checkpoint"):
+            raise ValueError(
+                f"restart_from must be 'state' or 'checkpoint', got "
+                f"{self.restart_from!r}")
+        if self.restart_from == "checkpoint" and self.restart_round is None:
+            raise ValueError(
+                "a permanent crash (restart_round=None) cannot restart "
+                "from a checkpoint; give the window a restart_round")
 
     def down_at(self, r: int) -> bool:
         if r < self.crash_round:
@@ -100,17 +142,26 @@ class CrashWindow:
     @staticmethod
     def parse(spec: str) -> "CrashWindow":
         """Parse the CLI syntax ``"v@r"`` (permanent) or ``"v@r:r2"``
-        (restart at round r2), e.g. ``"3@10:25"``."""
+        (restart at round r2), e.g. ``"3@10:25"``; an optional
+        ``"/checkpoint"`` suffix selects checkpoint-restart semantics,
+        e.g. ``"3@10:25/checkpoint"``."""
         try:
             node_s, window = spec.split("@", 1)
+            restart_from = "state"
+            if "/" in window:
+                window, restart_from = window.split("/", 1)
             if ":" in window:
                 start_s, end_s = window.split(":", 1)
-                return CrashWindow(int(node_s), int(start_s), int(end_s))
-            return CrashWindow(int(node_s), int(window))
-        except (ValueError, TypeError):
+                return CrashWindow(int(node_s), int(start_s), int(end_s),
+                                   restart_from)
+            return CrashWindow(int(node_s), int(window),
+                               restart_from=restart_from)
+        except (ValueError, TypeError) as exc:
             raise ValueError(
                 f"bad crash spec {spec!r}: expected 'node@round' or "
-                f"'node@round:restart_round', e.g. '3@10' or '3@10:25'")
+                f"'node@round:restart_round' with an optional "
+                f"'/checkpoint' suffix, e.g. '3@10' or '3@10:25/checkpoint'"
+                f" ({exc})") from None
 
 
 @dataclass(frozen=True)
@@ -166,7 +217,8 @@ class FaultPlan:
             parts.append(f"link {lf.u}{arrow}{lf.v}@{lf.start}:{end}")
         for cw in self.crashes:
             end = "" if cw.restart_round is None else f":{cw.restart_round}"
-            parts.append(f"crash {cw.node}@{cw.crash_round}{end}")
+            mode = "" if cw.restart_from == "state" else f"/{cw.restart_from}"
+            parts.append(f"crash {cw.node}@{cw.crash_round}{end}{mode}")
         return " ".join(parts)
 
 
@@ -257,6 +309,27 @@ class FaultInjector:
         """(delivery_round, envelope) pairs, for post-mortems."""
         return [(r, env) for r in sorted(self._in_flight)
                 for env in self._in_flight[r]]
+
+    def state_snapshot(self) -> Dict[str, Any]:
+        """The injector's resumable execution state -- the in-flight
+        queue plus the statistics accumulated so far.  The coin stream
+        itself is stateless (:func:`_u01` hashes the plan seed with the
+        envelope coordinates), so snapshot + :meth:`restore_state` +
+        resumed delivery is indistinguishable from an uninterrupted run.
+        Used by :mod:`repro.recovery.checkpoint`."""
+        return {
+            "stats": self.stats.as_dict(),
+            "in_flight": [(r, env) for r in sorted(self._in_flight)
+                          for env in self._in_flight[r]],
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_snapshot` output (envelopes already
+        reconstructed as :class:`Envelope` instances)."""
+        self.stats = FaultStats(**state["stats"])
+        self._in_flight = {}
+        for r, env in state["in_flight"]:
+            self._in_flight.setdefault(r, []).append(env)
 
     def take_due(self, r: int) -> List[Envelope]:
         """Remove and return every queued envelope due in round *r* (or

@@ -45,6 +45,32 @@ _DATA = "D"
 _ACK = "A"
 
 
+class UnreachablePeer(RuntimeError):
+    """A peer ignored every retransmission of a frame past the give-up
+    threshold -- it is almost certainly permanently crashed.
+
+    Raised by :class:`ResilientProgram` (when ``unreachable_after`` is
+    set) instead of retransmitting until the round limit, so a run
+    against a dead peer fails in a handful of backoff intervals with a
+    precise diagnosis rather than a generic ``RoundLimitExceeded``
+    hundreds of rounds later.  :func:`run_resilient` attaches a
+    :class:`~repro.faults.watchdog.PostMortem` as ``post_mortem``.
+    """
+
+    def __init__(self, node: int, peer: int, seq: int, tries: int,
+                 round_: int) -> None:
+        self.node = node
+        self.peer = peer
+        self.seq = seq
+        self.tries = tries
+        self.round = round_
+        self.post_mortem: Any = None
+        super().__init__(
+            f"node {node}: frame seq={seq} to peer {peer} unacknowledged "
+            f"after {tries} transmissions (round {round_}); the peer "
+            f"looks permanently crashed")
+
+
 def _checksum(seq: int, acks: Tuple[int, ...], payload: Any) -> int:
     """16-bit frame checksum over everything except the checksum word.
 
@@ -123,12 +149,20 @@ class ResilientProgram(Program):
         Give up on a frame after this many transmissions (``None`` =
         retry forever).  Abandoning frames breaks the delivery guarantee
         and is only meant for runs with permanently crashed peers.
+    unreachable_after:
+        Raise :class:`UnreachablePeer` when a frame is about to be
+        transmitted for the ``unreachable_after + 1``-th time without an
+        ack (``None`` = never).  With the default timeout/backoff
+        schedule, 8 unacknowledged transmissions span a couple of
+        hundred rounds -- far beyond any transient crash window -- so
+        this is a permanent-crash detector, not a congestion tripwire.
     """
 
     def __init__(self, inner: Program, *, timeout: int = 4,
                  backoff: float = 2.0, max_backoff: int = 64,
                  ack_batch: int = 4,
-                 max_retries: Optional[int] = None) -> None:
+                 max_retries: Optional[int] = None,
+                 unreachable_after: Optional[int] = None) -> None:
         if timeout < 1:
             raise ValueError(f"timeout must be >= 1 round, got {timeout}")
         if backoff < 1.0:
@@ -141,6 +175,7 @@ class ResilientProgram(Program):
         self.max_backoff = max_backoff
         self.ack_batch = ack_batch
         self.max_retries = max_retries
+        self.unreachable_after = unreachable_after
 
         self._next_seq: Dict[int, int] = {}
         self._queue: Dict[int, Deque[Any]] = {}          # dst -> fresh payloads
@@ -212,6 +247,9 @@ class ResilientProgram(Program):
             seq = self._due_retransmission(dst, r)
             if seq is not None:
                 pend = self._unacked[(dst, seq)]
+                if (self.unreachable_after is not None
+                        and pend.tries >= self.unreachable_after):
+                    raise UnreachablePeer(ctx.node, dst, seq, pend.tries, r)
                 pend.tries += 1
                 pend.interval = min(pend.interval * self.backoff,
                                     float(self.max_backoff))
@@ -296,11 +334,20 @@ class ResilientProgram(Program):
         return self.inner.output(ctx)
 
 
+def _has_permanent_crash(fault_plan: Any) -> bool:
+    """True when the plan declares a crash window that never restarts
+    (accepts a :class:`~repro.faults.plan.FaultPlan` or an injector)."""
+    plan = getattr(fault_plan, "plan", fault_plan)
+    crashes = getattr(plan, "crashes", ()) or ()
+    return any(cw.restart_round is None for cw in crashes)
+
+
 def run_resilient(graph: Any, program_factory: Callable[[int], Program],
                   max_rounds: int, *,
                   timeout: int = 4, backoff: float = 2.0,
                   max_backoff: int = 64, ack_batch: int = 4,
                   max_retries: Optional[int] = None,
+                  unreachable_after: Any = "auto",
                   max_message_words: int = 8,
                   backend: Optional[str] = None,
                   **network_kwargs: Any):
@@ -317,13 +364,26 @@ def run_resilient(graph: Any, program_factory: Callable[[int], Program],
     Returns ``(outputs, metrics, network)`` like
     :func:`~repro.congest.network.run_program`, with
     ``metrics.retransmissions`` / ``metrics.ack_messages`` filled in.
+
+    ``unreachable_after="auto"`` (the default) enables the
+    :class:`UnreachablePeer` fail-fast detector (threshold 8) exactly
+    when the fault plan declares a *permanent* crash window -- transient
+    windows keep the retry-forever behaviour the delivery guarantee is
+    built on.  Pass an int to force a threshold or ``None`` to disable.
+    An :class:`UnreachablePeer` raised by any wrapper propagates with a
+    post-mortem attached.
     """
+    if unreachable_after == "auto":
+        unreachable_after = (
+            8 if _has_permanent_crash(network_kwargs.get("fault_plan"))
+            else None)
     wrappers: List[ResilientProgram] = []
 
     def factory(v: int) -> ResilientProgram:
         w = ResilientProgram(program_factory(v), timeout=timeout,
                              backoff=backoff, max_backoff=max_backoff,
-                             ack_batch=ack_batch, max_retries=max_retries)
+                             ack_batch=ack_batch, max_retries=max_retries,
+                             unreachable_after=unreachable_after)
         wrappers.append(w)
         return w
 
@@ -333,6 +393,10 @@ def run_resilient(graph: Any, program_factory: Callable[[int], Program],
                        max_message_words=budget, **network_kwargs)
     try:
         metrics = net.run(max_rounds=max_rounds)
+    except UnreachablePeer as exc:
+        from .watchdog import build_post_mortem
+        exc.post_mortem = build_post_mortem(net, str(exc), exc.round)
+        raise
     finally:
         net.metrics.retransmissions += sum(w.retransmissions for w in wrappers)
         net.metrics.ack_messages += sum(w.ack_only_messages for w in wrappers)

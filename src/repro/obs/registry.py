@@ -211,7 +211,8 @@ class MetricsRegistry:
 
 #: Scalar RunMetrics fields mirrored as counters (monotone totals).
 _COUNTER_FIELDS = ("rounds", "messages", "words", "active_rounds",
-                   "skipped_rounds", "retransmissions", "ack_messages")
+                   "skipped_rounds", "retransmissions", "ack_messages",
+                   "rounds_to_repair")
 
 
 PublishState = Dict[Any, float]

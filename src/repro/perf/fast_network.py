@@ -447,6 +447,13 @@ class FastNetwork:
 
     # ------------------------------------------------------------------
 
+    # Same core-state protocol as the reference backend -- the worklist
+    # heap is rebuilt from the programs at every run() entry, so nothing
+    # backend-specific needs serializing and a checkpoint taken on one
+    # backend restores onto the other.
+    core_state = Network.core_state
+    restore_core_state = Network.restore_core_state
+
     def outputs(self) -> List[Any]:
         """Per-node outputs after :meth:`run` (``Program.output``)."""
         return [self.programs[v].output(self.contexts[v]) for v in range(self.n)]

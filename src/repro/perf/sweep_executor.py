@@ -250,6 +250,7 @@ EXPERIMENT_SWEEPS: Dict[str, SweepSpec] = {
                      seed_splittable=False),  # wall-clock timing: one task
     "E20": SweepSpec("repro.analysis.sweep:sweep_node_kernels",
                      seed_splittable=False),  # wall-clock timing: one task
+    "E21": SweepSpec("repro.analysis.sweep:sweep_recovery"),
 }
 
 

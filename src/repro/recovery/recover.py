@@ -1,0 +1,450 @@
+"""Checkpoint-restart crash recovery for CONGEST programs.
+
+:class:`RecoverableProgram` gives any delay-tolerant
+:class:`~repro.congest.node.Program` real crash-with-state-loss
+semantics: the node takes periodic durable snapshots of its inner state
+(:func:`repro.recovery.checkpoint.capture_state`), and when a
+``CrashWindow(..., restart_from="checkpoint")`` window ends, it does NOT
+resume from its live in-memory state (the injector's historical
+"omission" model) -- it rolls back to its last snapshot, forgets its
+volatile wrapper state, and re-synchronizes by asking every neighbour to
+replay recently sent frames.
+
+How the pieces fit
+------------------
+
+**Framing.**  All traffic is tagged: ``("D", payload)`` is a live inner
+message (logged per destination before sending), ``("Q", since)`` asks a
+neighbour to replay what it sent after real round ``since``, and
+``("P", payload)`` is a replayed inner message.  The tag costs one word;
+:func:`run_recoverable` widens the network word budget by exactly that,
+so the inner algorithm keeps its original CONGEST budget.  One frame per
+neighbour per round (a FIFO outbox), so the wrapper never violates the
+channel capacity even when a replay burst queues up.
+
+**Virtual time.**  Rolling back round-anchored inner state (e.g.
+Bellman-Ford's "announce at round c+1") at a later real round would
+either strand the anchor in the past or drag the network schedule
+backwards.  Instead the inner program lives in *simulated* time: the
+wrapper keeps a skew and hands the inner program ``sim_r = r - skew``.
+On rollback at real round ``r`` to a snapshot labelled "end of sim round
+c", the skew becomes ``r - (c + 1)``: from the inner program's point of
+view the next round is exactly ``c + 1``, so an announcement that was
+scheduled for the crashed round simply fires again -- including the one
+whose send was swallowed by the crash itself.  Skew accumulates across
+multiple rollbacks.  Payloads carry no round numbers, so neighbours
+never see the clock disagreement.
+
+**Replay.**  The rollback sends ``("Q", since)`` to every neighbour with
+``since = snapshot_real_round - slack``; the slack (default: the fault
+plan's ``max_delay``) covers frames that were delayed *into* the crash
+window.  A neighbour answers with its logged frames from real rounds
+``> since``, one per round, oldest first.  Replays can duplicate frames
+the node already processed before the snapshot -- harmless, because the
+wrapper targets *monotone, idempotent* inner programs (self-stabilizing
+relaxation: Bellman-Ford, the delay-tolerant short-range algorithm),
+where re-delivering an already-known distance is a no-op.  Logs are
+pruned to ``replay_window`` real rounds when set; a request reaching
+past the pruned horizon is answered with what remains and counted in
+``replay_gaps`` (the run then relies on the algorithm's own
+self-stabilization, which the chaos campaign exercises).
+
+What is *not* supported (docs/RECOVERY.md): wrapping a
+:class:`~repro.faults.resilient.ResilientProgram` inside a
+``RecoverableProgram``.  Rolling back the resilient layer's sequence
+counters would reuse sequence numbers, and the peers' duplicate
+suppression would then silently discard fresh frames.  Under plans that
+also drop or corrupt messages, compose the other way around is equally
+broken (the resilient layer would ack frames the crashed node later
+forgets), so recovery chaos plans stick to delays, duplicates, and
+checkpoint crash windows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from ..congest.message import Envelope
+from ..congest.node import NodeContext, Program
+from ..faults.monitor import (
+    DistanceLowerBound,
+    DistanceMonotonicity,
+    InvariantMonitor,
+)
+from ..faults.resilient import _CaptureContext
+
+_DATA = "D"
+_REPLAY = "P"
+_REQUEST = "Q"
+
+
+class _Snapshot:
+    """One durable snapshot: inner state at the end of simulated round
+    ``sim_label``, captured at real round ``real_round``."""
+
+    __slots__ = ("sim_label", "real_round", "state")
+
+    def __init__(self, sim_label: int, real_round: int, state: Any) -> None:
+        self.sim_label = sim_label
+        self.real_round = real_round
+        self.state = state
+
+
+class RecoverableProgram(Program):
+    """Wrap *inner* with durable snapshots, checkpoint rollback, and
+    neighbour replay (see module docstring).
+
+    Parameters
+    ----------
+    inner:
+        The wrapped program.  Must be delay-tolerant and idempotent
+        under re-delivery (monotone relaxation algorithms are).
+    node:
+        This node's id (the factory knows it; the wrapper needs it for
+        restart-window lookup and persisted snapshots).
+    windows:
+        The ``restart_from="checkpoint"`` crash windows of *this* node.
+        Windows in "state" mode are ignored here -- the injector's
+        omission semantics already model them.
+    checkpoint_every:
+        Real rounds between periodic snapshots (snapshot 0 is always
+        taken at start).  Snapshots are skipped while the node is down.
+    replay_slack:
+        Extra real rounds of history requested below the snapshot round,
+        covering frames delayed into the crash window.
+    replay_window:
+        Keep only this many real rounds of sent-frame log per neighbour
+        (``None`` = unbounded).  Requests past the horizon count into
+        ``replay_gaps``.
+    store, run_label:
+        Optional :class:`~repro.recovery.checkpoint.CheckpointStore`:
+        every snapshot is also persisted as
+        ``<run_label>-n<node>-r<real_round>`` for offline inspection.
+    """
+
+    def __init__(self, inner: Program, *, node: int,
+                 windows: Tuple[Any, ...] = (),
+                 checkpoint_every: int = 8,
+                 replay_slack: int = 1,
+                 replay_window: Optional[int] = None,
+                 store: Any = None,
+                 run_label: str = "run",
+                 keep_snapshots: int = 8) -> None:
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1 round, got {checkpoint_every}")
+        if replay_slack < 0:
+            raise ValueError(
+                f"replay_slack must be >= 0 rounds, got {replay_slack}")
+        if replay_window is not None and replay_window < 1:
+            raise ValueError(
+                f"replay_window must be >= 1 round or None, got "
+                f"{replay_window}")
+        for cw in windows:
+            if cw.restart_from != "checkpoint":
+                raise ValueError(
+                    f"window {cw!r} is not a checkpoint-restart window; "
+                    f"the injector already models restart_from='state'")
+            if cw.node != node:
+                raise ValueError(
+                    f"window {cw!r} belongs to node {cw.node}, not {node}")
+        self.inner = inner
+        self.node = node
+        self.checkpoint_every = checkpoint_every
+        self.replay_slack = replay_slack
+        self.replay_window = replay_window
+        self.store = store
+        self.run_label = run_label
+        self.keep_snapshots = max(2, keep_snapshots)
+        self._windows = tuple(windows)
+        #: restart round -> crash round, for rollback triggering.
+        self._restarts = {cw.restart_round: cw.crash_round
+                          for cw in self._windows}
+
+        self._skew = 0
+        self._inner_next: Optional[int] = None  # in sim time
+        self._next_ckpt = checkpoint_every
+        self._snaps: List[_Snapshot] = []
+        self._outbox: Dict[int, Deque[Tuple[Any, ...]]] = {}
+        self._log: Dict[int, Deque[Tuple[int, Any]]] = {}
+        self._log_pruned: Dict[int, int] = {}  # dst -> pruned-past round
+
+        #: Recovery accounting, aggregated by :func:`run_recoverable`.
+        self.snapshots = 0
+        self.rollbacks = 0
+        self.replays_requested = 0
+        self.replays_served = 0
+        self.replayed_frames = 0
+        self.replayed_delivered = 0
+        self.replay_gaps = 0
+
+    # -- per-message word overhead ------------------------------------
+
+    @classmethod
+    def frame_overhead_words(cls) -> int:
+        """Words a frame adds on top of the inner payload (the tag)."""
+        return 1
+
+    # -- snapshots -----------------------------------------------------
+
+    def _take_snapshot(self, sim_label: int, real_round: int) -> None:
+        from .checkpoint import NodeCheckpoint, capture_state
+        snap = _Snapshot(sim_label, real_round, capture_state(self.inner))
+        self._snaps.append(snap)
+        if len(self._snaps) > self.keep_snapshots:
+            # Never drop snapshot 0: it is the rollback of last resort.
+            del self._snaps[1]
+        self.snapshots += 1
+        if self.store is not None:
+            self.store.save_node(
+                f"{self.run_label}-n{self.node}-r{real_round}",
+                NodeCheckpoint.capture(self.node, self.inner))
+
+    def _down_at(self, r: int) -> bool:
+        return any(cw.down_at(r) for cw in self._windows)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self.inner.on_start(ctx)
+        self._inner_next = self.inner.next_active_round(ctx, 0)
+        self._take_snapshot(0, 0)
+
+    # -- rollback ------------------------------------------------------
+
+    def _rollback(self, ctx: NodeContext, r: int, crash_round: int) -> None:
+        from .checkpoint import restore_state
+        # Latest snapshot strictly before the crash: state from rounds
+        # >= crash_round was never durably saved (the node was dying).
+        snap = self._snaps[0]
+        for cand in self._snaps:
+            if cand.real_round < crash_round:
+                snap = cand
+        restore_state(self.inner, snap.state)
+        # Snapshots "from the future" of the restored point belong to
+        # the abandoned timeline.
+        self._snaps = [s for s in self._snaps
+                       if s.real_round <= snap.real_round]
+        # Virtual time: the inner program's next round is sim_label + 1.
+        self._skew = r - (snap.sim_label + 1)
+        self._inner_next = self.inner.next_active_round(ctx, snap.sim_label)
+        # Volatile wrapper memory is lost with the crash.
+        self._outbox.clear()
+        self._log.clear()
+        self._log_pruned.clear()
+        self.rollbacks += 1
+        # Ask every neighbour to replay what we may have missed.
+        since = max(0, snap.real_round - self.replay_slack)
+        for dst in sorted(ctx.comm_neighbors):
+            self._enqueue(dst, (_REQUEST, since))
+            self.replays_requested += 1
+
+    # -- send phase ----------------------------------------------------
+
+    def _enqueue(self, dst: int, frame: Tuple[Any, ...]) -> None:
+        self._outbox.setdefault(dst, deque()).append(frame)
+
+    def on_send(self, ctx: NodeContext, r: int) -> None:
+        crash_round = self._restarts.get(r)
+        if crash_round is not None:
+            self._rollback(ctx, r, crash_round)
+        elif r >= self._next_ckpt and not self._down_at(r):
+            self._take_snapshot(r - self._skew - 1, r - 1)
+        while self._next_ckpt <= r:
+            self._next_ckpt += self.checkpoint_every
+
+        sim = r - self._skew
+        if self._inner_next is not None and self._inner_next <= sim:
+            cap = _CaptureContext(ctx)
+            self.inner.on_send(cap, sim)
+            self._inner_next = self.inner.next_active_round(ctx, sim)
+            for dst, payload in cap.captured:
+                self._enqueue(dst, (_DATA, payload))
+                self._log.setdefault(dst, deque()).append((r, payload))
+
+        for dst in sorted(self._outbox):
+            queue = self._outbox[dst]
+            ctx.send(dst, queue.popleft())
+            if not queue:
+                del self._outbox[dst]
+
+        if self.replay_window is not None:
+            horizon = r - self.replay_window
+            for dst, log in self._log.items():
+                while log and log[0][0] <= horizon:
+                    rr, _payload = log.popleft()
+                    if rr > self._log_pruned.get(dst, -1):
+                        self._log_pruned[dst] = rr
+
+    # -- receive phase -------------------------------------------------
+
+    def on_receive(self, ctx: NodeContext, r: int,
+                   inbox: List[Envelope]) -> None:
+        sim = r - self._skew
+        deliver: List[Envelope] = []
+        for env in inbox:
+            frame = env.payload
+            tag = frame[0]
+            if tag == _DATA or tag == _REPLAY:
+                deliver.append(Envelope.make(env.src, ctx.node, sim,
+                                             frame[1]))
+                if tag == _REPLAY:
+                    self.replayed_delivered += 1
+            elif tag == _REQUEST:
+                since = frame[1]
+                self.replays_served += 1
+                if self._log_pruned.get(env.src, -1) > since:
+                    self.replay_gaps += 1
+                for rr, payload in self._log.get(env.src, ()):
+                    if rr > since:
+                        self._enqueue(env.src, (_REPLAY, payload))
+                        self.replayed_frames += 1
+        if deliver:
+            self.inner.on_receive(ctx, sim, deliver)
+            self._inner_next = self.inner.next_active_round(ctx, sim)
+
+    # -- scheduling ----------------------------------------------------
+
+    def next_active_round(self, ctx: NodeContext, r: int) -> Optional[int]:
+        candidates: List[int] = []
+        if self._inner_next is not None:
+            candidates.append(self._inner_next + self._skew)
+        if self._outbox:
+            candidates.append(r + 1)
+        restart = min((rr for rr in self._restarts if rr > r), default=None)
+        if restart is not None:
+            candidates.append(restart)
+        if candidates:
+            # Ride checkpoints on real activity only -- a quiescent node
+            # must not wake forever just to re-snapshot unchanged state.
+            candidates.append(max(r + 1, self._next_ckpt))
+        if not candidates:
+            return None
+        return max(r + 1, min(candidates))
+
+    def output(self, ctx: NodeContext) -> Any:
+        return self.inner.output(ctx)
+
+
+class RecoveryStats:
+    """Aggregated wrapper counters for one :func:`run_recoverable` run."""
+
+    FIELDS = ("snapshots", "rollbacks", "replays_requested",
+              "replays_served", "replayed_frames", "replayed_delivered",
+              "replay_gaps")
+
+    def __init__(self, wrappers: List[RecoverableProgram]) -> None:
+        for name in self.FIELDS:
+            setattr(self, name, sum(getattr(w, name) for w in wrappers))
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"RecoveryStats({inner})"
+
+
+def _plan_of(fault_plan: Any):
+    return getattr(fault_plan, "plan", fault_plan)
+
+
+def checkpoint_windows_of(fault_plan: Any, node: int) -> Tuple[Any, ...]:
+    """The ``restart_from="checkpoint"`` crash windows of *node*."""
+    plan = _plan_of(fault_plan)
+    crashes = getattr(plan, "crashes", ()) or ()
+    return tuple(cw for cw in crashes
+                 if cw.node == node and cw.restart_from == "checkpoint")
+
+
+def run_recoverable(graph: Any, program_factory: Callable[[int], Program],
+                    max_rounds: int, *,
+                    fault_plan: Any = None,
+                    checkpoint_every: int = 8,
+                    replay_slack: Optional[int] = None,
+                    replay_window: Optional[int] = None,
+                    store: Any = None,
+                    run_label: str = "run",
+                    max_message_words: int = 8,
+                    backend: Optional[str] = None,
+                    **network_kwargs: Any):
+    """Run *program_factory*'s programs wrapped in
+    :class:`RecoverableProgram` under *fault_plan*.
+
+    Every node is wrapped (any node may be asked to serve replays); only
+    nodes with ``restart_from="checkpoint"`` windows ever roll back.
+    The word budget is widened by the one-word frame tag so the inner
+    algorithm keeps its CONGEST budget.  ``replay_slack=None`` derives
+    the slack from the plan's ``max_delay`` (delayed frames can land
+    inside the crash window).  Returns
+    ``(outputs, metrics, network, stats)`` with *stats* a
+    :class:`RecoveryStats`.
+    """
+    plan = _plan_of(fault_plan)
+    if replay_slack is None:
+        replay_slack = 1
+        if plan is not None and getattr(plan, "delay_rate", 0):
+            replay_slack = max(1, plan.max_delay)
+
+    wrappers: List[RecoverableProgram] = []
+
+    def factory(v: int) -> RecoverableProgram:
+        w = RecoverableProgram(
+            program_factory(v), node=v,
+            windows=checkpoint_windows_of(fault_plan, v),
+            checkpoint_every=checkpoint_every,
+            replay_slack=replay_slack, replay_window=replay_window,
+            store=store, run_label=run_label)
+        wrappers.append(w)
+        return w
+
+    from ..perf.backends import make_network
+    budget = max_message_words + RecoverableProgram.frame_overhead_words()
+    net = make_network(graph, factory, backend=backend,
+                       max_message_words=budget, fault_plan=fault_plan,
+                       **network_kwargs)
+    metrics = net.run(max_rounds=max_rounds)
+    return net.outputs(), metrics, net, RecoveryStats(wrappers)
+
+
+# ---------------------------------------------------------------------------
+# Rollback-aware monitoring
+# ---------------------------------------------------------------------------
+
+class RollbackAwareMonotonicity(DistanceMonotonicity):
+    """Distance monotonicity that tolerates checkpoint rollbacks.
+
+    A rollback legitimately *increases* a node's distance estimates (the
+    state reverts to an older snapshot), which the plain invariant would
+    flag as corruption.  This variant resets its per-node baseline
+    whenever the node's :class:`RecoverableProgram` reports a new
+    rollback; the lower-bound invariant needs no such treatment (no
+    legitimate state is ever *below* the true distance).
+    """
+
+    name = "distance-monotonicity(rollback-aware)"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._rollbacks_seen: Dict[int, int] = {}
+
+    def check(self, program: Any, ctx: Any, r: int) -> Optional[str]:
+        rollbacks = getattr(program, "rollbacks", None)
+        node = ctx.node
+        if rollbacks is not None and \
+                rollbacks != self._rollbacks_seen.get(node, 0):
+            self._rollbacks_seen[node] = rollbacks
+            self._last.pop(node, None)
+        return super().check(program, ctx, r)
+
+
+def recovery_monitor(graph: Any, sources: Any, *, every: int = 1
+                     ) -> InvariantMonitor:
+    """Oracle monitor for recoverable runs: rollback-aware monotonicity
+    plus the Dijkstra lower bound (which rollbacks cannot violate)."""
+    from ..graphs.reference import dijkstra
+    true_dist = {s: dijkstra(graph, s)[0] for s in sources}
+    return InvariantMonitor(
+        [RollbackAwareMonotonicity(), DistanceLowerBound(true_dist)],
+        every=every)

@@ -58,6 +58,7 @@ def metrics_summary(m: RunMetrics) -> Dict[str, Any]:
         "retransmissions": m.retransmissions,
         "ack_messages": m.ack_messages,
         "faults": dict(m.faults),
+        "rounds_to_repair": m.rounds_to_repair,
     }
 
 

@@ -148,6 +148,54 @@ def test_instrumented_differential(data):
     )
 
 
+@st.composite
+def composite_fault_plans(draw, n):
+    """Plans that *combine* fault families -- delays, duplicates, and a
+    link failure (plus optionally a transient crash window) in one plan,
+    the interaction space the single-family notches above undersample."""
+    from repro.faults import CrashWindow, LinkFailure
+
+    u = draw(st.integers(0, n - 1))
+    v = draw(st.integers(0, n - 1).filter(lambda x: x != u))
+    start = draw(st.integers(1, 6))
+    end = draw(st.one_of(st.none(), st.integers(start, start + 8)))
+    link = LinkFailure(u, v, start=start, end=end,
+                       bidirectional=draw(st.booleans()))
+    crashes = ()
+    if draw(st.booleans()):
+        c = draw(st.integers(1, 6))
+        crashes = (CrashWindow(draw(st.integers(0, n - 1)), c,
+                               c + draw(st.integers(1, 6))),)
+    return FaultPlan(
+        seed=draw(st.integers(0, 10_000)),
+        delay_rate=draw(st.sampled_from([0.1, 0.3, 0.8])),
+        duplicate_rate=draw(st.sampled_from([0.1, 0.3])),
+        max_delay=draw(st.integers(1, 5)),
+        link_failures=(link,),
+        crashes=crashes,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_composite_fault_differential(data):
+    """Delays + duplicates + a link failure (and sometimes a transient
+    crash) in ONE plan: the fault families interact in the delivery
+    phase (a delayed duplicate can cross a failing link), and both
+    backends must agree on every observation of the combined stream."""
+    g = data.draw(small_graphs)
+    source = data.draw(st.integers(0, g.n - 1))
+    plan = data.draw(composite_fault_plans(g.n))
+    assert_instrumented_equivalent(
+        g, lambda v: BellmanFordProgram(v, source),
+        max_rounds=10 * g.n + 120,
+        fault_plan=plan,
+        monitor_factory=None,
+        with_tracer=True,
+        record_window=data.draw(st.sampled_from([0, 2])),
+    )
+
+
 # --- targeted accounting regressions: rounds that carry no payload ----
 
 

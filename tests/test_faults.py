@@ -64,6 +64,40 @@ class TestCrashWindow:
         with pytest.raises(ValueError, match="crash spec"):
             CrashWindow.parse(bad)
 
+    def test_restart_must_follow_crash(self):
+        with pytest.raises(ValueError, match="restart_round must be >"):
+            CrashWindow(3, 10, 5)
+        with pytest.raises(ValueError, match="restart_round must be >"):
+            CrashWindow(3, 10, 10)  # equal is an empty window too
+        with pytest.raises(ValueError, match="crash spec"):
+            CrashWindow.parse("3@10:5")
+
+    @pytest.mark.parametrize("kwargs, field", [
+        (dict(node=-1, crash_round=4), "node"),
+        (dict(node=0, crash_round=-2), "crash_round"),
+        (dict(node=0, crash_round=4, restart_round=-1), "restart_round"),
+    ])
+    def test_negative_fields_rejected(self, kwargs, field):
+        with pytest.raises(ValueError, match=field):
+            CrashWindow(**kwargs)
+
+    def test_parse_checkpoint_suffix(self):
+        cw = CrashWindow.parse("3@10:25/checkpoint")
+        assert (cw.node, cw.crash_round, cw.restart_round) == (3, 10, 25)
+        assert cw.restart_from == "checkpoint"
+        plan = FaultPlan(crashes=(cw,))
+        assert "crash 3@10:25/checkpoint" in plan.describe()
+
+    def test_checkpoint_requires_restart_round(self):
+        with pytest.raises(ValueError, match="cannot restart"):
+            CrashWindow(3, 10, restart_from="checkpoint")
+        with pytest.raises(ValueError, match="crash spec"):
+            CrashWindow.parse("3@10/checkpoint")
+
+    def test_restart_from_validated(self):
+        with pytest.raises(ValueError, match="restart_from"):
+            CrashWindow(3, 10, 25, restart_from="disk")
+
 
 class TestCorruptPayload:
     def test_perturbs_first_numeric_field(self):

@@ -144,3 +144,94 @@ class TestWrapperProtocol:
                     m.ack_messages, dict(m.faults))
 
         assert run() == run()
+
+
+class TestUnreachablePeer:
+    """The fail-fast detector for permanently crashed peers."""
+
+    def _permanent_plan(self, node=2, at=2):
+        return FaultPlan(crashes=(CrashWindow(node, at),))
+
+    def test_permanent_crash_raises_with_post_mortem(self):
+        from repro.faults import UnreachablePeer
+
+        g = random_graph(10, p=0.4, w_max=6, seed=3)
+        plan = self._permanent_plan()
+        with pytest.raises(UnreachablePeer) as info:
+            run_resilient(g, bf_factory(), max_rounds=5000, fault_plan=plan)
+        exc = info.value
+        assert exc.peer == 2  # the crashed node is the one unreachable
+        assert exc.tries >= 8  # the auto threshold
+        assert exc.post_mortem is not None
+        assert "round" in exc.post_mortem.render()
+
+    def test_transient_crash_does_not_trip_auto_detector(self):
+        g = random_graph(10, p=0.4, w_max=6, seed=3)
+        plan = FaultPlan(crashes=(CrashWindow(2, 2, 40),))
+        outs, metrics, _ = run_resilient(g, bf_factory(), max_rounds=5000,
+                                         fault_plan=plan)
+        true, _ = dijkstra(g, 0)
+        assert [o[0] for o in outs] == list(true)
+
+    def test_explicit_threshold_overrides_auto(self):
+        from repro.faults import UnreachablePeer
+
+        g = random_graph(8, p=0.5, w_max=4, seed=5)
+        # A long transient window with a tiny threshold trips mid-window.
+        plan = FaultPlan(crashes=(CrashWindow(1, 2, 400),))
+        with pytest.raises(UnreachablePeer) as info:
+            run_resilient(g, bf_factory(), max_rounds=5000, fault_plan=plan,
+                          unreachable_after=2)
+        assert info.value.tries >= 2
+
+    def test_disabled_detector_retries_forever(self):
+        from repro.congest import RoundLimitExceeded
+
+        g = random_graph(8, p=0.5, w_max=4, seed=5)
+        plan = self._permanent_plan(node=1)
+        with pytest.raises(RoundLimitExceeded):
+            run_resilient(g, bf_factory(), max_rounds=300, fault_plan=plan,
+                          unreachable_after=None)
+
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+
+class TestBackoffProperty:
+    """Hypothesis: retransmission intervals never exceed max_backoff."""
+
+    @given(timeout=st.integers(1, 5),
+           backoff=st.floats(1.0, 4.0),
+           extra=st.integers(0, 40))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_backoff_interval_capped(self, timeout, backoff, extra):
+        from repro.congest import Network, RoundLimitExceeded
+
+        max_backoff = timeout + extra
+        g = random_graph(5, p=0.9, w_max=4, seed=1)
+        plan = FaultPlan(crashes=(CrashWindow(1, 1),))  # permanent
+        wrappers = []
+
+        def factory(v):
+            w = ResilientProgram(bf_factory()(v), timeout=timeout,
+                                 backoff=backoff, max_backoff=max_backoff)
+            wrappers.append(w)
+            return w
+
+        budget = 8 + ResilientProgram.frame_overhead_words(4)
+        net = Network(g, factory, fault_plan=plan,
+                      max_message_words=budget)
+        with pytest.raises(RoundLimitExceeded):
+            # Never quiesces (node 1 is dead and the detector is off):
+            # the budget just bounds how long we let the retries grow.
+            net.run(max_rounds=40 * (timeout + extra) + 100)
+        retried = 0
+        for w in wrappers:
+            for pend in w._unacked.values():
+                assert pend.interval <= float(max_backoff) + 1e-9, (
+                    f"interval {pend.interval} exceeds max_backoff "
+                    f"{max_backoff} (timeout={timeout}, backoff={backoff})")
+                retried += pend.tries - 1
+        assert retried > 0  # the property was actually exercised
