@@ -18,6 +18,7 @@ from .sweep import (
     sweep_invariants,
     sweep_node_kernels,
     sweep_recovery,
+    sweep_serving,
     sweep_short_range,
     sweep_table1_exact,
     sweep_theorem11_apsp,
@@ -46,6 +47,7 @@ __all__ = [
     "sweep_invariants",
     "sweep_node_kernels",
     "sweep_recovery",
+    "sweep_serving",
     "sweep_short_range",
     "sweep_table1_exact",
     "sweep_theorem11_apsp",

@@ -524,3 +524,123 @@ def sweep_recovery(*, seeds: Sequence[int] = (0, 1),
                     backends_agree=1,
                     digest=digests["reference"][:12])
     return rep
+
+
+def sweep_serving(*, sizes: Sequence[Tuple[int, float, int]] = (
+                        (64, 0.08, 12000), (96, 0.05, 12000)),
+                  seed: int = 0, skew: float = 1.2, repeats: int = 3,
+                  timing: bool = True,
+                  report: Optional[ExperimentReport] = None
+                  ) -> ExperimentReport:
+    """E22: the distance-oracle serving layer -- batched+cached queries
+    per second vs the naive per-query table walk, plus incremental
+    refresh and cross-backend table digests.
+
+    Three row families per ``(n, p, queries)`` size (sparse graphs, so
+    naive route walks are long -- the regime a cache pays in):
+
+    * ``row=serve`` -- a seeded Zipf workload replayed against one
+      :class:`~repro.serve.DistanceOracle` (fast backend).  The batched
+      answers are always asserted identical to the naive baseline's.
+      In timing mode ``measured`` is naive seconds / batched+cached
+      steady-state seconds (cache warmed by one pass, then best of
+      ``repeats``) -- the quantity the >= 5x CI gate
+      (benchmarks/bench_serving.py) checks at the largest size.
+    * ``row=refresh`` -- an :class:`~repro.recovery.EdgeUpdate` deleting
+      a minimum-weight edge; ``measured`` is
+      ``rounds_to_repair`` (deterministic), with the affected-source /
+      rebuilt-shard / invalidated-cache-entry counts alongside, and the
+      post-refresh tables re-checked against Dijkstra through the
+      *cached* query path (``correct``).
+    * ``row=digest`` -- a small oracle built and refreshed identically
+      on both simulator backends; asserts bit-identical
+      :meth:`DistanceOracle.digest` values (``backends_agree``), the
+      E19/E21 cross-backend pinning pattern.
+
+    ``timing=False`` switches to the deterministic mode used by the
+    ``obs bench`` smoke suite: no clocks -- ``row=serve`` reports the
+    table-build round count with the cache hit/miss tallies (exact
+    replays of a seeded stream, so bit-stable across machines); the
+    refresh and digest rows are clock-free by construction.
+    """
+    from ..recovery import EdgeUpdate
+    from ..serve import DistanceOracle, generate_workload
+
+    rep = report or ExperimentReport(
+        "E22", "Serving: batched+cached oracle queries/sec >= 5x naive "
+               "table walks on Zipf traffic; incremental refresh "
+               "Dijkstra-correct; table digests backend-pinned")
+    for n, p, num_queries in sizes:
+        g = random_graph(n, p=p, w_max=6, zero_fraction=0.2, seed=seed)
+        oracle = DistanceOracle(g, num_shards=4, backend="fast")
+        wl = generate_workload(n, num_queries, seed=seed, skew=skew)
+        naive = oracle.serve_naive(wl)
+        served = oracle.serve(wl)   # cold pass; also warms the cache
+        if served != naive:
+            raise AssertionError(
+                f"E22 n={n}: batched+cached answers diverge from the "
+                f"naive baseline -- speedup numbers would be "
+                f"meaningless")
+        base = {"n": n, "p": p, "queries": num_queries, "seed": seed,
+                "skew": skew, "row": "serve"}
+        if timing:
+            naive_s = cached_s = math.inf
+            for _ in range(max(1, repeats)):
+                t0 = time.perf_counter()
+                oracle.serve_naive(wl)
+                naive_s = min(naive_s, time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                oracle.serve(wl)
+                cached_s = min(cached_s, time.perf_counter() - t0)
+            rep.add(base, measured=round(naive_s / cached_s, 2),
+                    qps_naive=round(num_queries / naive_s),
+                    qps_cached=round(num_queries / cached_s),
+                    hit_rate=round(oracle.cache.hit_rate, 3),
+                    distinct_pairs=wl.distinct_pairs(),
+                    answers_match=1)
+        else:
+            rep.add(base, measured=oracle.build_rounds,
+                    cache_hits=oracle.cache.hits,
+                    cache_misses=oracle.cache.misses,
+                    distinct_pairs=wl.distinct_pairs(),
+                    answers_match=1)
+
+        # Incremental refresh: delete a minimum-weight edge (near-certain
+        # to sit on shortest-path trees) and re-serve.
+        u, v, w = min(sorted(g.edges()), key=lambda e: (e[2], e))
+        rec = oracle.refresh(EdgeUpdate(u, v, None))
+        correct = not oracle.oracle_check(sample=20 * n, seed=seed)
+        assert correct, (
+            f"E22 n={n}: post-refresh served distances diverge from "
+            f"Dijkstra on the updated graph")
+        rep.add({"n": n, "p": p, "queries": num_queries, "seed": seed,
+                 "skew": skew, "row": "refresh"},
+                measured=rec.rounds_to_repair,
+                affected=len(rec.affected_sources),
+                shards_rebuilt=len(rec.rebuilt_shards),
+                invalidated=rec.invalidated_entries,
+                epoch=rec.epoch,
+                correct=int(correct))
+
+    # Cross-backend pinning: identical build + refresh on both
+    # simulator backends must serve bit-identical tables.
+    n_pin = 20
+    g = random_graph(n_pin, p=0.3, w_max=8, zero_fraction=0.2, seed=seed)
+    u, v, w = min(sorted(g.edges()), key=lambda e: (e[2], e))
+    digests = {}
+    for backend in ("reference", "fast"):
+        o = DistanceOracle(g, num_shards=3, method="pipelined",
+                           backend=backend)
+        o.refresh(EdgeUpdate(u, v, None))
+        assert not o.oracle_check(), (
+            f"E22 digest row: backend {backend} serves wrong distances")
+        digests[backend] = o.digest()
+    assert digests["reference"] == digests["fast"], (
+        f"E22: backends disagree on the served-table digest -- "
+        f"reference {digests['reference'][:12]} vs fast "
+        f"{digests['fast'][:12]}")
+    rep.add({"n": n_pin, "p": 0.3, "queries": 0, "seed": seed,
+             "skew": skew, "row": "digest"},
+            measured=1, backends_agree=1,
+            digest=digests["reference"][:12])
+    return rep

@@ -10,7 +10,7 @@ Commands operate on graph files in the plain-text format of
 * ``hkssp`` -- the (h, k)-SSP problem (the paper's weak contract);
 * ``approx``-- (1+eps)-approximate APSP;
 * ``bounds``-- evaluate the paper's bound formulas for given parameters;
-* ``bench`` -- run one of the experiment sweeps (E1-E21) and print its
+* ``bench`` -- run one of the experiment sweeps (E1-E22) and print its
   measured-vs-bound table, optionally fanned out across worker
   processes (``--jobs N``) via :class:`repro.perf.SweepExecutor`;
 * ``explain``-- replay how one node learned its distance from one source;
@@ -24,6 +24,12 @@ Commands operate on graph files in the plain-text format of
 * ``dynamic``-- incremental re-convergence: apply edge/node updates to a
   completed run and re-run only the affected sources, reporting
   ``rounds_to_repair`` vs the from-scratch recompute cost;
+* ``serve`` -- the distance-oracle serving layer: ``serve bench``
+  replays a seeded Zipf query workload through the asyncio front-end
+  (:mod:`repro.serve`) and reports naive vs batched+cached queries/sec
+  with the cache hit rate, ``serve demo`` answers point queries and
+  re-serves them after ``--update``/``--leave``/``--join`` churn (only
+  affected sources recomputed; answers Dijkstra-checked);
 * ``obs``   -- the observability subsystem: ``obs run`` executes an
   algorithm with tracing/metrics/profiling attached and renders an
   ASCII dashboard (optionally exporting the trace as JSONL), ``obs
@@ -210,6 +216,7 @@ def cmd_bench(args, out) -> int:
         "E19": lambda: [sweep_mod.sweep_backend_speedup()],
         "E20": lambda: [sweep_mod.sweep_node_kernels()],
         "E21": lambda: [sweep_mod.sweep_recovery()],
+        "E22": lambda: [sweep_mod.sweep_serving()],
     }
     key = args.experiment.upper()
     if key == "ALL":
@@ -452,6 +459,91 @@ def cmd_dynamic(args, out) -> int:
     return 1 if mismatches else 0
 
 
+def cmd_serve(args, out) -> int:
+    import time as _time
+
+    from .obs import MetricsRegistry
+    from .serve import DistanceOracle, generate_workload, serve_stream
+
+    g = gio.load(args.graph)
+    registry = MetricsRegistry()
+    oracle = DistanceOracle(
+        g, num_shards=args.shards, method=args.method,
+        backend=args.backend, cache_size=args.cache_size,
+        registry=registry)
+    out.write(f"oracle: n={g.n} sources={len(oracle.sources)} "
+              f"shards={len(oracle.view.shards)} "
+              f"build rounds={oracle.build_rounds}\n")
+
+    if args.serve_command == "demo":
+        events = _parse_dynamic_events(args)
+        pairs = []
+        for spec in args.query or ():
+            u_s, _, v_s = spec.partition(",")
+            pairs.append((int(u_s), int(v_s)))
+        if not pairs:
+            rng_n = g.n
+            pairs = [(0, rng_n - 1), (rng_n - 1, 0), (0, rng_n // 2)]
+        for u, v in pairs:
+            r = oracle.path(u, v)
+            if r is None:
+                out.write(f"{u} -> {v}: unreachable\n")
+            else:
+                out.write(f"{u} -> {v}: distance {int(r.distance)} via "
+                          f"{'-'.join(str(x) for x in r.path)}\n")
+        if events:
+            rec = oracle.refresh(*events)
+            out.write(f"refresh: epoch {rec.epoch}, "
+                      f"{len(rec.affected_sources)} affected source(s), "
+                      f"{len(rec.rebuilt_shards)} shard(s) rebuilt, "
+                      f"{rec.invalidated_entries} cache entries "
+                      f"invalidated, {rec.rounds_to_repair} repair "
+                      f"rounds\n")
+            for u, v in pairs:
+                r = oracle.path(u, v)
+                if r is None:
+                    out.write(f"{u} -> {v}: unreachable\n")
+                else:
+                    out.write(f"{u} -> {v}: distance {int(r.distance)} "
+                              f"via {'-'.join(str(x) for x in r.path)}\n")
+        mismatches = oracle.oracle_check()
+        if mismatches:
+            out.write(f"RESULT: INCORRECT at {len(mismatches)} pair(s): "
+                      f"{mismatches[:5]}\n")
+            return 1
+        out.write("RESULT: correct (every served distance matches "
+                  "Dijkstra)\n")
+        return 0
+
+    # serve bench: replay a seeded Zipf workload, naive vs batched+cached
+    wl = generate_workload(g.n, args.queries, seed=args.seed,
+                           skew=args.skew)
+    t0 = _time.perf_counter()
+    naive = oracle.serve_naive(wl)
+    naive_s = _time.perf_counter() - t0
+    oracle.serve(wl)  # warm the cache
+    t0 = _time.perf_counter()
+    served = serve_stream(oracle, wl, batch_size=args.batch_size,
+                          max_workers=args.jobs)
+    cached_s = _time.perf_counter() - t0
+    if served != naive:
+        out.write("RESULT: INCORRECT -- batched+cached answers diverge "
+                  "from the naive baseline\n")
+        return 1
+    stats = oracle.cache.stats()
+    out.write(f"workload: {len(wl)} queries, seed={args.seed} "
+              f"skew={args.skew}, {wl.distinct_pairs()} distinct pairs\n")
+    out.write(f"naive:          {len(wl) / naive_s:12.0f} queries/sec\n")
+    out.write(f"batched+cached: {len(wl) / cached_s:12.0f} queries/sec "
+              f"({args.jobs} worker(s))\n")
+    out.write(f"speedup: {naive_s / cached_s:.2f}x   "
+              f"cache hit rate: {stats['hit_rate']:.3f} "
+              f"({int(stats['hits'])} hits / "
+              f"{int(stats['misses'])} misses, "
+              f"size {int(stats['size'])})\n")
+    return 0
+
+
 #: The deterministic micro-suite behind ``repro obs bench --suite smoke``
 #: (and CI's benchmark smoke job): fixed-seed, small-size variants of
 #: three headline sweeps.  Round counts are deterministic, so identical
@@ -473,6 +565,11 @@ _SMOKE_SUITE = (
     # whole recovery row family can sit in the deterministic record.
     ("repro.analysis.sweep:sweep_recovery",
      {"seeds": (0,), "sizes": (10,)}),
+    # E22 in its clock-free mode: build rounds + exact cache tallies +
+    # refresh/digest rows (the timed >= 5x serving gate is
+    # benchmarks/bench_serving.py, not the smoke compare).
+    ("repro.analysis.sweep:sweep_serving",
+     {"sizes": ((32, 0.15, 4000),), "timing": False}),
 )
 
 
@@ -631,7 +728,7 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("-q", "--quiet", action="store_true")
     ap.set_defaults(func=cmd_approx)
 
-    be = sub.add_parser("bench", help="run an experiment sweep (E1-E21 or all)")
+    be = sub.add_parser("bench", help="run an experiment sweep (E1-E22 or all)")
     be.add_argument("experiment", help="experiment id, e.g. E2, or 'all'")
     be.add_argument("--jobs", type=int, default=1, metavar="N",
                     help="fan seed-splittable sweeps out across N worker "
@@ -715,6 +812,60 @@ def build_parser() -> argparse.ArgumentParser:
     dy.add_argument("-q", "--quiet", action="store_true")
     _add_backend_flag(dy)
     dy.set_defaults(func=cmd_dynamic)
+
+    sv = sub.add_parser(
+        "serve",
+        help="distance-oracle serving layer over the pipelined tables")
+    svsub = sv.add_subparsers(dest="serve_command", required=True)
+    svb = svsub.add_parser(
+        "bench",
+        help="replay a seeded Zipf workload: naive vs batched+cached "
+             "queries/sec through the asyncio front-end")
+    svb.add_argument("graph")
+    svb.add_argument("--queries", type=int, default=10000,
+                     help="workload length (default 10000)")
+    svb.add_argument("--seed", type=int, default=0,
+                     help="workload seed (same seed replays the same "
+                          "stream)")
+    svb.add_argument("--skew", type=float, default=1.2,
+                     help="Zipf popularity skew (default 1.2)")
+    svb.add_argument("--cache-size", type=int, default=4096,
+                     help="LRU route-cache capacity (0 disables)")
+    svb.add_argument("--shards", type=int, default=None,
+                     help="source partitions (default ~sqrt(n))")
+    svb.add_argument("--batch-size", type=int, default=256,
+                     help="queries per executor batch")
+    svb.add_argument("--jobs", type=int, default=2, metavar="N",
+                     help="thread-pool workers behind the asyncio "
+                          "front-end")
+    svb.add_argument("--method", default="auto",
+                     choices=["auto", "pipelined", "blocker",
+                              "bellman-ford"])
+    _add_backend_flag(svb)
+    svb.set_defaults(func=cmd_serve)
+    svd = svsub.add_parser(
+        "demo",
+        help="answer point queries, then apply updates and re-serve")
+    svd.add_argument("graph")
+    svd.add_argument("--query", action="append", metavar="U,V",
+                     help="point query; repeatable (default: a few "
+                          "corner pairs)")
+    svd.add_argument("--update", action="append", metavar="U,V,W",
+                     help="set edge (U,V) to weight W, or delete it "
+                          "with 'U,V,-'; repeatable")
+    svd.add_argument("--leave", action="append", metavar="V",
+                     help="remove node V and its incident edges; "
+                          "repeatable")
+    svd.add_argument("--join", action="append", metavar="V:U-V-W;...",
+                     help="(re-)attach node V with the given edges; "
+                          "repeatable")
+    svd.add_argument("--cache-size", type=int, default=4096)
+    svd.add_argument("--shards", type=int, default=None)
+    svd.add_argument("--method", default="auto",
+                     choices=["auto", "pipelined", "blocker",
+                              "bellman-ford"])
+    _add_backend_flag(svd)
+    svd.set_defaults(func=cmd_serve)
 
     o = sub.add_parser(
         "obs",

@@ -6,6 +6,22 @@ routing table: to forward traffic from ``x`` towards ``v``, follow the
 shortest-path tree of ``x``.  This module turns any of the library's
 APSP/k-SSP results into a queryable, serialisable routing structure and
 validates it against the distances it came from.
+
+Unreachable targets
+-------------------
+The query surface is uniform so a serving layer
+(:mod:`repro.serve`) never has to special-case disconnected pairs:
+
+* :meth:`RoutingTable.distance` returns ``inf``;
+* :meth:`RoutingTable.route` and :meth:`RoutingTable.next_hop` return
+  ``None``;
+* :meth:`RoutingTable.forwarding_table` omits the destination (it also
+  omits the source itself -- there is no first hop from ``x`` to ``x``);
+* :meth:`RoutingTable.dumps` omits the pair.
+
+Only genuine caller errors raise: an un-routed source is a ``KeyError``
+and an out-of-range target a ``ValueError``, from every query method
+alike.
 """
 
 from __future__ import annotations
@@ -61,14 +77,21 @@ class RoutingTable:
 
     # -- queries -----------------------------------------------------------
 
+    def _row(self, x: int, v: int) -> Sequence[float]:
+        if x not in self.dist:
+            raise KeyError(f"{x} is not a routed source")
+        if not (0 <= v < self.graph.n):
+            raise ValueError(
+                f"target {v} out of range for n={self.graph.n}")
+        return self.dist[x]
+
     def distance(self, x: int, v: int) -> float:
-        return self.dist[x][v]
+        """The shortest-path distance x -> v (``inf`` if unreachable)."""
+        return self._row(x, v)[v]
 
     def route(self, x: int, v: int) -> Optional[Route]:
         """The full shortest route x -> v, or ``None`` if unreachable."""
-        if x not in self.dist:
-            raise KeyError(f"{x} is not a routed source")
-        if self.dist[x][v] == INF:
+        if self._row(x, v)[v] == INF:
             return None
         path = [v]
         cur = v
@@ -91,43 +114,96 @@ class RoutingTable:
         return r.path[1]
 
     def forwarding_table(self, x: int) -> Dict[int, int]:
-        """``{destination: first hop}`` for source *x*."""
+        """``{destination: first hop}`` for source *x* -- unreachable
+        destinations (and ``x`` itself) are omitted.
+
+        Computed in O(n) by propagating first hops down the parent
+        tree, not by walking each route separately.
+        """
+        if x not in self.dist:
+            raise KeyError(f"{x} is not a routed source")
+        dist, parent = self.dist[x], self.parent[x]
+        n = self.graph.n
         out: Dict[int, int] = {}
-        for v in range(self.graph.n):
-            nh = self.next_hop(x, v)
-            if nh is not None:
-                out[v] = nh
+
+        def hop_of(v: int) -> Optional[int]:
+            # First hop of x -> v, memoized in `out`; chain length is
+            # bounded by n, so the explicit stack stays small.
+            stack = []
+            while v != x and v not in out:
+                p = parent[v]
+                if p is None or len(stack) > n:
+                    raise ValueError(
+                        f"broken parent chain routing {x} -> {v}")
+                stack.append(v)
+                v = p
+            hop = None if v == x else out[v]
+            for node in reversed(stack):
+                out[node] = node if hop is None else hop
+                hop = out[node]
+            return hop
+
+        for v in range(n):
+            if v != x and dist[v] < INF:
+                hop_of(v)
         return out
 
     # -- validation ----------------------------------------------------------
 
-    def validate(self) -> None:
-        """Every route must be a genuine path whose edge weights sum to
-        the recorded distance, with distances decreasing towards the
-        source along parent pointers."""
+    def validate(self, *, raise_on_violation: bool = True) -> List[str]:
+        """Check every route is a genuine path whose edge weights sum to
+        the recorded distance, with intact parent chains and zero
+        self-distances.
+
+        Unlike a plain assertion, *all* violations are collected (one
+        message per broken pair) and returned, so a shard-swap sanity
+        check can report the full damage in one pass.  With
+        ``raise_on_violation=True`` (the default) a non-empty collection
+        raises a single :class:`AssertionError` listing every violation.
+        """
+        violations: List[str] = []
         for x in self.dist:
+            if self.dist[x][x] != 0:
+                violations.append(
+                    f"route {x}->{x} self-distance "
+                    f"{self.dist[x][x]!r} != 0")
             for v in range(self.graph.n):
-                r = self.route(x, v)
+                try:
+                    r = self.route(x, v)
+                except ValueError as exc:
+                    violations.append(str(exc))
+                    continue
                 if r is None:
                     continue
                 total = 0
+                bad_edge = False
                 for a, b in zip(r.path, r.path[1:]):
                     w = self.graph.weight(a, b)
                     if w is None:
-                        raise AssertionError(
+                        violations.append(
                             f"route {x}->{v} uses non-edge ({a},{b})")
+                        bad_edge = True
+                        break
                     total += w
-                if total != r.distance:
-                    raise AssertionError(
+                if not bad_edge and total != r.distance:
+                    violations.append(
                         f"route {x}->{v} weight {total} != recorded "
                         f"{r.distance}")
+        if violations and raise_on_violation:
+            raise AssertionError(
+                f"{len(violations)} routing violation(s):\n  "
+                + "\n  ".join(violations))
+        return violations
 
     # -- serialisation ---------------------------------------------------------
 
     def dumps(self) -> str:
         """Text form: one ``r <src> <dst> <dist> <path...>`` line per
-        reachable pair."""
-        lines = [f"# repro routes v1 n={self.graph.n}"]
+        reachable pair (self-routes and unreachable pairs omitted; the
+        header records the source set so :meth:`loads` can round-trip
+        sources with no reachable targets)."""
+        lines = [f"# repro routes v1 n={self.graph.n} "
+                 f"sources={','.join(map(str, self.sources))}"]
         for x in self.sources:
             for v in range(self.graph.n):
                 r = self.route(x, v)
@@ -136,3 +212,58 @@ class RoutingTable:
                         f"r {x} {v} {int(r.distance)} "
                         + " ".join(map(str, r.path)))
         return "\n".join(lines) + "\n"
+
+    @classmethod
+    def loads(cls, text: str, graph: WeightedDigraph) -> "RoutingTable":
+        """Rebuild a table from :meth:`dumps` output.
+
+        Round-trips exactly: distances, parents, and the source set of
+        the dumped table are restored (``loads(t.dumps(), g)`` equals
+        ``t`` on every query).  Headers without a ``sources=`` field
+        (pre-serving dumps) fall back to the sources seen on ``r``
+        lines.
+        """
+        lines = [ln for ln in text.splitlines() if ln.strip()]
+        if not lines or not lines[0].startswith("# repro routes v1"):
+            raise ValueError("not a repro routes v1 dump")
+        header = lines[0]
+        fields = dict(part.split("=", 1) for part in header.split()
+                      if "=" in part)
+        n = int(fields.get("n", graph.n))
+        if n != graph.n:
+            raise ValueError(
+                f"dump is for n={n}, graph has n={graph.n}")
+        sources: List[int] = []
+        if "sources" in fields:
+            sources = [int(s) for s in fields["sources"].split(",")
+                       if s != ""]
+        dist: Dict[int, List[float]] = {}
+        parent: Dict[int, List[Optional[int]]] = {}
+
+        def ensure(x: int) -> None:
+            if x not in dist:
+                if not (0 <= x < n):
+                    raise ValueError(f"source {x} out of range for n={n}")
+                dist[x] = [INF] * n
+                parent[x] = [None] * n
+                dist[x][x] = 0
+
+        for x in sources:
+            ensure(x)
+        for ln in lines[1:]:
+            parts = ln.split()
+            if parts[0] != "r" or len(parts) < 5:
+                raise ValueError(f"malformed route line {ln!r}")
+            x, v, d = int(parts[1]), int(parts[2]), int(parts[3])
+            path = [int(p) for p in parts[4:]]
+            if path[0] != x or path[-1] != v:
+                raise ValueError(
+                    f"route line {ln!r}: path endpoints do not match "
+                    f"{x} -> {v}")
+            ensure(x)
+            if not (0 <= v < n):
+                raise ValueError(f"target {v} out of range for n={n}")
+            dist[x][v] = float(d)
+            for a, b in zip(path, path[1:]):
+                parent[x][b] = a
+        return cls(graph, dist, parent)

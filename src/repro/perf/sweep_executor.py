@@ -251,6 +251,8 @@ EXPERIMENT_SWEEPS: Dict[str, SweepSpec] = {
     "E20": SweepSpec("repro.analysis.sweep:sweep_node_kernels",
                      seed_splittable=False),  # wall-clock timing: one task
     "E21": SweepSpec("repro.analysis.sweep:sweep_recovery"),
+    "E22": SweepSpec("repro.analysis.sweep:sweep_serving",
+                     seed_splittable=False),  # wall-clock timing: one task
 }
 
 

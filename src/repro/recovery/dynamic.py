@@ -160,6 +160,20 @@ class DynamicRun:
         Optional :class:`~repro.obs.MetricsRegistry`; accumulated
         metrics (including ``rounds_to_repair``) are mirrored after the
         initial compute and every batch.
+    keep_parents:
+        Also maintain per-source parent pointers (:attr:`parents`),
+        repaired alongside :attr:`table` on every batch -- what a
+        routing/serving layer (:mod:`repro.serve`) needs to rebuild
+        :class:`~repro.core.RoutingTable` shards for exactly the
+        affected sources.
+    initial_table / initial_parents:
+        A precomputed distance table (and, with ``keep_parents``,
+        parent table) covering every source: the initial compute is
+        skipped and the run starts from the given state with zero
+        metrics.  The caller vouches the tables are exact for *graph*
+        -- :class:`repro.serve.DistanceOracle` uses this to hand over
+        the tables it already materialized shard by shard, instead of
+        computing them twice.
     """
 
     def __init__(self, graph: WeightedDigraph,
@@ -171,7 +185,11 @@ class DynamicRun:
                  max_rounds: Optional[int] = None,
                  monitor_factory: Optional[Callable[..., Any]] = None,
                  compare_full: bool = False,
-                 registry: Any = None) -> None:
+                 registry: Any = None,
+                 keep_parents: bool = False,
+                 initial_table: Optional[Dict[int, List[float]]] = None,
+                 initial_parents: Optional[
+                     Dict[int, List[Optional[int]]]] = None) -> None:
         if sources is None:
             sources = range(graph.n)
         self.sources: Tuple[int, ...] = tuple(dict.fromkeys(sources))
@@ -189,15 +207,39 @@ class DynamicRun:
         self.monitor_factory = monitor_factory
         self.compare_full = compare_full
         self.registry = registry
+        self.keep_parents = keep_parents
         self._published = None
 
         self.graph = graph
         self._arcs: Dict[Tuple[int, int], int] = {
             (u, v): w for u, v, w in graph.edges()}
         self.history: List[RepairRecord] = []
+        #: Per-source parent pointers (only with ``keep_parents``).
+        self.parents: Dict[int, List[Optional[int]]] = {}
 
-        self.table, initial = self._compute(graph, self.sources)
-        self.metrics = initial
+        if initial_table is not None:
+            missing = [s for s in self.sources if s not in initial_table]
+            if missing:
+                raise ValueError(
+                    f"initial_table missing sources {missing}")
+            self.table = {s: list(initial_table[s]) for s in self.sources}
+            if keep_parents:
+                if initial_parents is None or any(
+                        s not in initial_parents for s in self.sources):
+                    raise ValueError(
+                        "keep_parents with initial_table needs "
+                        "initial_parents covering every source")
+                self.parents = {s: list(initial_parents[s])
+                                for s in self.sources}
+            self.metrics = RunMetrics()
+        else:
+            if initial_parents is not None:
+                raise ValueError(
+                    "initial_parents given without initial_table")
+            self.table, initial = self._compute(graph, self.sources)
+            if keep_parents:
+                self.parents = self._new_parents
+            self.metrics = initial
         self._publish()
 
     # -- graph bookkeeping --------------------------------------------
@@ -307,7 +349,10 @@ class DynamicRun:
     def _compute(self, graph: WeightedDigraph, sources: Sequence[int]
                  ) -> Tuple[Dict[int, List[float]], RunMetrics]:
         """Distances for *sources* on *graph* plus the execution metrics
-        (the repair pipeline; identical on both backends)."""
+        (the repair pipeline; identical on both backends).  With
+        ``keep_parents`` the freshly computed parent rows are staged in
+        ``self._new_parents`` for the caller to adopt."""
+        self._new_parents: Dict[int, List[Optional[int]]] = {}
         if not sources:
             return {}, RunMetrics()
         monitor = (self.monitor_factory(graph, tuple(sources))
@@ -320,6 +365,8 @@ class DynamicRun:
             kwargs["monitor"] = monitor
         res = k_ssp(graph, list(sources), method=self.method,
                     backend=self.backend, **kwargs)
+        if self.keep_parents:
+            self._new_parents = {s: list(res.parent[s]) for s in sources}
         return {s: list(res.dist[s]) for s in sources}, res.metrics
 
     def _compute_recoverable(self, graph: WeightedDigraph,
@@ -340,6 +387,8 @@ class DynamicRun:
                 checkpoint_every=self.checkpoint_every,
                 backend=self.backend, monitor=monitor)
             dist[s] = [out[0] for out in outputs]
+            if self.keep_parents:
+                self._new_parents[s] = [out[2] for out in outputs]
             parts.append(metrics)
         return dist, merge_sequential(*parts)
 
@@ -360,8 +409,11 @@ class DynamicRun:
         new_graph = self._rebuild(new_arcs)
 
         repaired, repair_metrics = self._compute(new_graph, affected)
+        repaired_parents = self._new_parents
         for s in affected:
             self.table[s] = repaired[s]
+            if self.keep_parents:
+                self.parents[s] = repaired_parents[s]
         repair_metrics.rounds_to_repair = repair_metrics.rounds
         self.metrics = self.metrics.merged_with(repair_metrics)
 

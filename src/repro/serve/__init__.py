@@ -1,0 +1,44 @@
+"""Distance-oracle serving layer: production queries over APSP tables.
+
+The pipelined algorithms' outputs -- full distance + next-hop tables --
+are exactly what a production distance oracle serves.  This package
+closes that loop:
+
+* :class:`DistanceOracle` (:mod:`repro.serve.oracle`) materializes
+  :class:`~repro.core.RoutingTable` shards per source-partition by
+  running the k-source pipeline (either simulator backend), answers
+  ``distance``/``path`` point queries through an LRU route cache with
+  batched same-source execution, and refreshes incrementally under
+  churn via :class:`repro.recovery.DynamicRun` with epoch-versioned
+  atomic table swaps;
+* :class:`AsyncFrontend` (:mod:`repro.serve.frontend`) puts an asyncio
+  + thread-pool query front-end over it, micro-batching concurrent
+  point queries;
+* :class:`RouteCache` (:mod:`repro.serve.cache`) is the LRU with
+  per-source invalidation and hit/miss counters published to the
+  :class:`repro.obs.MetricsRegistry`;
+* :func:`generate_workload` (:mod:`repro.serve.workload`) produces the
+  seeded Zipf-skewed query streams the benchmarks (E22,
+  ``benchmarks/bench_serving.py``) and the ``repro serve`` CLI replay.
+
+See docs/SERVING.md for the architecture, epoch/refresh semantics, and
+cache policy.
+"""
+
+from .cache import RouteCache
+from .frontend import AsyncFrontend, serve_stream
+from .oracle import DistanceOracle, RefreshRecord, TableShard, TableView
+from .workload import Query, Workload, generate_workload
+
+__all__ = [
+    "AsyncFrontend",
+    "DistanceOracle",
+    "Query",
+    "RefreshRecord",
+    "RouteCache",
+    "TableShard",
+    "TableView",
+    "Workload",
+    "generate_workload",
+    "serve_stream",
+]

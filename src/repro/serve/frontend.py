@@ -1,0 +1,153 @@
+"""Asyncio query front-end over the :class:`DistanceOracle`.
+
+The oracle's table reads are pure CPU work over immutable
+:class:`~repro.serve.oracle.TableView` snapshots, so concurrency is a
+thread-pool problem: the event loop accepts queries, an internal
+micro-batcher coalesces whatever arrived while the previous batch was
+executing (same-source queries then share one row binding inside
+:meth:`DistanceOracle.query_batch`), and the batch runs on a
+``ThreadPoolExecutor`` worker.  ``await``-ing callers get their
+individual answers back in submission order.
+
+Because a query batch captures one table view, a concurrent
+:meth:`DistanceOracle.refresh` from another task or thread is safe by
+construction: batches that started before the swap finish on the old
+epoch, batches that start after it see the new one, and nothing in
+between.
+
+>>> async with AsyncFrontend(oracle) as fe:
+...     d = await fe.distance(0, 5)
+...     route = await fe.path(0, 5)
+...     answers = await fe.serve(workload)     # batched fan-in
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Iterable, List, Optional, Tuple
+
+from ..core.routing import Route
+from .oracle import DistanceOracle
+from .workload import Query
+
+
+class AsyncFrontend:
+    """Async facade: awaitable ``distance``/``path`` plus stream serving.
+
+    ``max_workers`` sizes the thread pool (1 is enough for correctness;
+    more lets independent batches of a large stream overlap).
+    ``max_batch`` caps how many pending point queries one executor trip
+    coalesces.
+    """
+
+    def __init__(self, oracle: DistanceOracle, *, max_workers: int = 2,
+                 max_batch: int = 256) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.oracle = oracle
+        self.max_batch = max_batch
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve")
+        self._pending: List[Tuple[Query, "asyncio.Future[Any]"]] = []
+        self._flusher: Optional["asyncio.Task[None]"] = None
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def __aenter__(self) -> "AsyncFrontend":
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        self._closed = True
+        if self._flusher is not None:
+            await asyncio.gather(self._flusher, return_exceptions=True)
+        await self._flush()
+        self._pool.shutdown(wait=True)
+
+    def close(self) -> None:
+        """Synchronous shutdown (for non-async owners); pending point
+        queries must already be awaited."""
+        self._closed = True
+        self._pool.shutdown(wait=True)
+
+    # -- point queries (micro-batched) --------------------------------
+
+    def _submit(self, query: Query) -> "asyncio.Future[Any]":
+        if self._closed:
+            raise RuntimeError("frontend is closed")
+        loop = asyncio.get_running_loop()
+        fut: "asyncio.Future[Any]" = loop.create_future()
+        self._pending.append((query, fut))
+        if self._flusher is None or self._flusher.done():
+            self._flusher = loop.create_task(self._flush())
+        return fut
+
+    async def _flush(self) -> None:
+        loop = asyncio.get_running_loop()
+        while self._pending:
+            chunk = self._pending[:self.max_batch]
+            del self._pending[:len(chunk)]
+            queries = [q for q, _ in chunk]
+            try:
+                answers = await loop.run_in_executor(
+                    self._pool, self.oracle.query_batch, queries)
+            except Exception as exc:
+                for _, fut in chunk:
+                    if not fut.done():
+                        fut.set_exception(exc)
+                continue
+            for (_, fut), ans in zip(chunk, answers):
+                if not fut.done():
+                    fut.set_result(ans)
+
+    async def distance(self, u: int, v: int) -> float:
+        """Awaitable shortest-path distance (``inf`` if unreachable)."""
+        return await self._submit(Query(u, v, "distance"))
+
+    async def path(self, u: int, v: int) -> Optional[Route]:
+        """Awaitable full route (``None`` if unreachable)."""
+        return await self._submit(Query(u, v, "path"))
+
+    # -- stream serving -----------------------------------------------
+
+    async def serve(self, queries: Iterable[Query], *,
+                    batch_size: int = 256) -> List[Any]:
+        """Serve a whole stream: split into batches, fan them out to
+        the pool, gather answers in stream order."""
+        queries = list(queries)
+        loop = asyncio.get_running_loop()
+        jobs = [
+            loop.run_in_executor(self._pool, self.oracle.query_batch,
+                                 queries[lo:lo + batch_size])
+            for lo in range(0, len(queries), max(1, batch_size))]
+        chunks = await asyncio.gather(*jobs)
+        return [ans for chunk in chunks for ans in chunk]
+
+    async def refresh(self, *events: Any):
+        """Run a table refresh on the pool (epoch swap is atomic, so
+        queries in flight are unaffected)."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._pool, lambda: self.oracle.refresh(*events))
+
+
+def serve_stream(oracle: DistanceOracle, queries: Iterable[Query], *,
+                 batch_size: int = 256, max_workers: int = 2) -> List[Any]:
+    """Synchronous convenience: spin an event loop, serve *queries*
+    through an :class:`AsyncFrontend`, return the answers."""
+
+    async def _run() -> List[Any]:
+        async with AsyncFrontend(oracle, max_workers=max_workers,
+                                 max_batch=batch_size) as fe:
+            return await fe.serve(queries, batch_size=batch_size)
+
+    return asyncio.run(_run())
+
+
+__all__ = ["AsyncFrontend", "serve_stream"]

@@ -260,3 +260,62 @@ class TestBackendFlag:
         assert rc == 2
         err = capsys.readouterr().err
         assert "REPRO_BACKEND" in err and "fasst" in err
+
+
+class TestServeCommand:
+    def test_serve_bench_reports_speedup(self, graph_file):
+        rc, out = run_cli("serve", "bench", graph_file,
+                          "--queries", "800", "--seed", "7",
+                          "--backend", "fast", "--jobs", "2")
+        assert rc == 0
+        assert "queries/sec" in out
+        assert "speedup" in out and "hit rate" in out
+
+    def test_serve_bench_seed_replays_same_workload(self, graph_file):
+        rc1, out1 = run_cli("serve", "bench", graph_file,
+                            "--queries", "300", "--seed", "4")
+        rc2, out2 = run_cli("serve", "bench", graph_file,
+                            "--queries", "300", "--seed", "4")
+        assert rc1 == rc2 == 0
+        line = [ln for ln in out1.splitlines() if "workload" in ln]
+        assert line == [ln for ln in out2.splitlines() if "workload" in ln]
+        assert "distinct pairs" in line[0]
+
+    def test_serve_demo_refresh_reserves(self, graph_file):
+        g = gio.load(graph_file)
+        u, v, w = sorted(g.edges())[0]
+        rc, out = run_cli("serve", "demo", graph_file,
+                          "--query", "0,9", "--update", f"{u},{v},-")
+        assert rc == 0
+        assert "refresh: epoch 1" in out
+        assert "RESULT: correct" in out
+
+    def test_serve_demo_node_leave(self, graph_file):
+        rc, out = run_cli("serve", "demo", graph_file, "--leave", "9")
+        assert rc == 0
+        assert "RESULT: correct" in out
+
+    def test_serve_missing_file_exits_2(self, capsys):
+        rc = main(["serve", "bench", "no_such_file.graph"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_bad_update_spec_exits_2(self, graph_file, capsys):
+        rc = main(["serve", "demo", graph_file, "--update", "0-1-2"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_bad_query_target_exits_2(self, graph_file, capsys):
+        rc = main(["serve", "demo", graph_file, "--query", "0,99"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_bad_workload_params_exit_2(self, graph_file, capsys):
+        rc = main(["serve", "bench", graph_file, "--queries", "-5"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_bad_shards_exits_2(self, graph_file, capsys):
+        rc = main(["serve", "bench", graph_file, "--shards", "99"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err

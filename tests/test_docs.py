@@ -56,7 +56,7 @@ class TestDocFilesExist:
     @pytest.mark.parametrize("name", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md", "NOTATION.md",
         "docs/TUTORIAL.md", "docs/ALGORITHM.md", "docs/OBSERVABILITY.md",
-        "docs/PERFORMANCE.md",
+        "docs/PERFORMANCE.md", "docs/RECOVERY.md", "docs/SERVING.md",
     ])
     def test_present_and_nonempty(self, name):
         path = ROOT / name

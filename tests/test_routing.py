@@ -106,6 +106,143 @@ class TestTableOutputs:
         pytest.skip("graph too dense to fabricate a non-edge")
 
 
+class TestUnreachableContract:
+    """Disconnected pairs must never raise (the serving layer relies on
+    it): distance -> inf, route/next_hop -> None, forwarding_table
+    omits.  Caller errors stay loud: unknown source -> KeyError,
+    out-of-range target -> ValueError, uniformly."""
+
+    @pytest.fixture
+    def sparse(self):
+        g = WeightedDigraph.from_edges(4, [(0, 1, 3), (2, 3, 1)])
+        res = run_apsp(g)
+        return g, RoutingTable.from_result(g, res)
+
+    def test_distance_inf_not_raise(self, sparse):
+        _g, rt = sparse
+        assert rt.distance(0, 3) == INF
+        assert rt.distance(0, 1) == 3
+
+    def test_route_and_next_hop_none(self, sparse):
+        _g, rt = sparse
+        assert rt.route(0, 2) is None
+        assert rt.next_hop(0, 2) is None
+
+    def test_forwarding_table_omits_unreachable_and_self(self, sparse):
+        _g, rt = sparse
+        assert rt.forwarding_table(0) == {1: 1}
+        assert rt.forwarding_table(2) == {3: 3}
+
+    @pytest.mark.parametrize("query", [
+        lambda rt: rt.distance(9, 0),
+        lambda rt: rt.route(9, 0),
+        lambda rt: rt.next_hop(9, 0),
+        lambda rt: rt.forwarding_table(9),
+    ])
+    def test_unknown_source_keyerror(self, sparse, query):
+        _g, rt = sparse
+        with pytest.raises(KeyError):
+            query(rt)
+
+    @pytest.mark.parametrize("query", [
+        lambda rt: rt.distance(0, 99),
+        lambda rt: rt.route(0, 99),
+        lambda rt: rt.next_hop(0, 99),
+    ])
+    def test_out_of_range_target_valueerror(self, sparse, query):
+        _g, rt = sparse
+        with pytest.raises(ValueError):
+            query(rt)
+
+    def test_forwarding_table_matches_route_walk(self, table):
+        g, rt = table
+        for x in range(g.n):
+            ft = rt.forwarding_table(x)
+            for v in range(g.n):
+                r = rt.route(x, v)
+                if r is None or v == x:
+                    assert v not in ft
+                else:
+                    assert ft[v] == r.path[1]
+
+
+class TestLoads:
+    def test_round_trip(self, table):
+        g, rt = table
+        back = RoutingTable.loads(rt.dumps(), g)
+        assert back.sources == rt.sources
+        for x in rt.sources:
+            assert back.dist[x] == rt.dist[x]
+            for v in range(g.n):
+                assert back.route(x, v) == rt.route(x, v)
+        assert back.dumps() == rt.dumps()
+
+    def test_round_trip_keeps_isolated_source(self):
+        g = WeightedDigraph.from_edges(3, [(0, 1, 2)])
+        res = run_apsp(g)
+        rt = RoutingTable.from_result(g, res)
+        back = RoutingTable.loads(rt.dumps(), g)
+        # node 2 has no outgoing edges: no route lines, but it is still
+        # a routed source after the round-trip.
+        assert 2 in back.dist
+        assert back.distance(2, 2) == 0
+        assert back.distance(2, 0) == INF
+
+    def test_loads_legacy_header_infers_sources(self, table):
+        g, rt = table
+        text = rt.dumps()
+        head, rest = text.split("\n", 1)
+        legacy = f"# repro routes v1 n={g.n}\n" + rest
+        back = RoutingTable.loads(legacy, g)
+        assert set(back.sources) <= set(rt.sources)
+        for x in back.sources:
+            assert back.dist[x] == rt.dist[x]
+
+    def test_loads_rejects_garbage(self, table):
+        g, _rt = table
+        with pytest.raises(ValueError):
+            RoutingTable.loads("not a dump\n", g)
+        with pytest.raises(ValueError):
+            RoutingTable.loads(f"# repro routes v1 n={g.n + 5}\n", g)
+        with pytest.raises(ValueError):
+            RoutingTable.loads(
+                f"# repro routes v1 n={g.n}\nr 0 1\n", g)
+
+    def test_loads_validates(self, table):
+        g, rt = table
+        assert RoutingTable.loads(rt.dumps(), g).validate() == []
+
+
+class TestValidateReportsAll:
+    def test_clean_table_returns_empty(self, table):
+        _g, rt = table
+        assert rt.validate() == []
+
+    def test_collects_every_violation(self, table):
+        g, rt = table
+        # Corrupt two independent entries: a wrong distance and a broken
+        # parent chain; validate must report both, not stop at one.
+        reach = [(x, v) for x in range(g.n) for v in range(g.n)
+                 if x != v and rt.dist[x][v] != INF]
+        (x1, v1), (x2, v2) = reach[0], reach[-1]
+        rt.dist[x1][v1] += 1
+        rt.parent[x2][v2] = None
+        violations = rt.validate(raise_on_violation=False)
+        assert len(violations) >= 2
+        assert any(f"{x1}->{v1}" in s for s in violations)
+        assert any(f"{x2} -> {v2}" in s or f"{x2}->{v2}" in s
+                   for s in violations)
+        with pytest.raises(AssertionError) as exc:
+            rt.validate()
+        assert "violation(s)" in str(exc.value)
+
+    def test_self_distance_checked(self, table):
+        _g, rt = table
+        rt.dist[0][0] = 7
+        bad = rt.validate(raise_on_violation=False)
+        assert any("self-distance" in s for s in bad)
+
+
 class TestAllResultTypesRoutable:
     """Every APSP result type must carry parent pointers usable by
     RoutingTable (found during verification: Algorithm 3's results

@@ -1,0 +1,126 @@
+"""Cache-under-churn property tests for the serving layer.
+
+The serving-layer guarantee under churn: after **any** stream of
+``EdgeUpdate`` events -- with queries interleaved so the LRU route
+cache is hot across every refresh epoch -- every distance the oracle
+serves equals the Dijkstra ground truth on the current graph.  Stale
+cache entries surviving a refresh would break exactly this, so the
+assertions go through the *cached* query path (``distance()`` and the
+batched ``query_batch``), never the raw tables.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import dijkstra, random_graph
+from repro.recovery import EdgeUpdate
+from repro.serve import DistanceOracle, Query
+
+INF = float("inf")
+
+
+@st.composite
+def churn_scenarios(draw):
+    """(graph, update_batches) where each batch is a list of EdgeUpdate
+    on *existing* edges: weight bumps, drops to zero, and deletions
+    (weight=None)."""
+    seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+    n = draw(st.integers(min_value=3, max_value=8))
+    g = random_graph(n, p=0.5, w_max=6, zero_fraction=0.25, seed=seed)
+    edges = sorted(g.edges())
+    if not edges:
+        g = random_graph(n, p=1.0, w_max=6, seed=seed)
+        edges = sorted(g.edges())
+    num_batches = draw(st.integers(min_value=1, max_value=3))
+    rng = random.Random(seed ^ 0xC4A11)
+    batches = []
+    for _ in range(num_batches):
+        size = draw(st.integers(min_value=1, max_value=3))
+        batch = []
+        for _ in range(size):
+            u, v, w = rng.choice(edges)
+            kind = draw(st.sampled_from(["bump", "zero", "delete"]))
+            if kind == "bump":
+                batch.append(EdgeUpdate(u, v, w + rng.randint(1, 5)))
+            elif kind == "zero":
+                batch.append(EdgeUpdate(u, v, 0))
+            else:
+                batch.append(EdgeUpdate(u, v, None))
+        batches.append(batch)
+    return g, batches, seed
+
+
+def assert_all_served_match_dijkstra(oracle: DistanceOracle) -> None:
+    """Every (source, target) distance through the cached path equals
+    ground truth on the oracle's *current* graph."""
+    g = oracle.graph
+    for u in oracle.sources:
+        want = dijkstra(g, u)[0]
+        for v in range(g.n):
+            got = oracle.distance(u, v)
+            assert got == want[v], (
+                f"stale answer {u}->{v}: served {got}, true {want[v]} "
+                f"(epoch {oracle.epoch})")
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(churn_scenarios())
+def test_served_distances_match_dijkstra_after_any_update_stream(scenario):
+    g, batches, seed = scenario
+    oracle = DistanceOracle(g, num_shards=2, method="bellman-ford",
+                            cache_size=1024)
+    rng = random.Random(seed ^ 0xF00D)
+
+    def warm_cache():
+        # Populate the cache with a spread of pairs so every refresh
+        # has live entries to keep or invalidate.
+        qs = [Query(rng.randrange(g.n), rng.randrange(g.n),
+                    rng.choice(["distance", "path"]))
+              for _ in range(2 * g.n)]
+        oracle.query_batch(qs)
+
+    warm_cache()
+    assert_all_served_match_dijkstra(oracle)
+    for batch in batches:
+        oracle.refresh(*batch)
+        # The whole point: answers *after* the refresh go through the
+        # same cache the pre-refresh queries populated.
+        assert_all_served_match_dijkstra(oracle)
+        assert oracle.validate_shards() == []
+        warm_cache()
+    # Epochs advanced once per refresh; history is complete.
+    assert oracle.epoch == len(batches)
+    assert len(oracle.refreshes) == len(batches)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(churn_scenarios())
+def test_paths_stay_genuine_after_churn(scenario):
+    """Served paths (not just distances) remain walkable on the
+    current graph after every refresh."""
+    g, batches, _ = scenario
+    oracle = DistanceOracle(g, num_shards=1, method="bellman-ford",
+                            cache_size=256)
+    for batch in batches:
+        oracle.refresh(*batch)
+    cur = oracle.graph
+    for u in oracle.sources:
+        want = dijkstra(cur, u)[0]
+        for v in range(cur.n):
+            r = oracle.path(u, v)
+            if want[v] == INF:
+                assert r is None
+                continue
+            assert r.distance == want[v]
+            total = 0
+            for a, b in zip(r.path, r.path[1:]):
+                w = cur.weight(a, b)
+                assert w is not None, f"path uses dead edge {a}->{b}"
+                total += w
+            assert total == want[v]
