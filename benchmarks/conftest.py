@@ -30,8 +30,9 @@ _STORE = Path(__file__).parent
 
 
 def pytest_addoption(parser):
+    from repro.perf import BACKENDS
     parser.addoption(
-        "--repro-backend", choices=["reference", "fast"], default=None,
+        "--repro-backend", choices=sorted(BACKENDS), default=None,
         help="ambient simulator backend for every benchmark sweep "
              "(sweeps needing unsupported hooks fall back to the "
              "reference backend; results are pinned identical)")

@@ -14,6 +14,7 @@ from .records import ExperimentReport, Measurement
 from .tables import format_value, render_markdown, render_report, render_table
 from .sweep import (
     sweep_backend_speedup,
+    sweep_columnar,
     sweep_fault_tolerance,
     sweep_invariants,
     sweep_node_kernels,
@@ -43,6 +44,7 @@ __all__ = [
     "render_report",
     "render_table",
     "sweep_backend_speedup",
+    "sweep_columnar",
     "sweep_fault_tolerance",
     "sweep_invariants",
     "sweep_node_kernels",

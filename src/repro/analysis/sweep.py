@@ -371,6 +371,113 @@ def sweep_node_kernels(*, sizes: Sequence[Tuple[int, int, int]] = (
     return rep
 
 
+def sweep_columnar(*, sides: Sequence[int] = (30, 60, 100), w_max: int = 6,
+                   zero_fraction: float = 0.2, seed: int = 5,
+                   repeats: int = 3, timing: bool = True,
+                   report: Optional[ExperimentReport] = None
+                   ) -> ExperimentReport:
+    """E23: wall-clock speedup of the columnar bulk-synchronous backend
+    over the fast backend on grid-graph Bellman-Ford relaxation.
+
+    E19 removed the reference loop's per-round O(n) scans and E20 the
+    node-side list scans; what remains on the hot path is per-message
+    Python object traffic (an Envelope, a payload tuple, a Counter
+    update, several method calls per message).  The columnar backend
+    eliminates it for the relaxation family, so the workload here is the
+    family's dense-wavefront regime: single-source ``run_bellman_ford``
+    on a ``side x side`` random-weight grid (n up to the tens of
+    thousands, ~2n edges, wavefronts thousands of nodes wide with
+    repeated re-improvements under random weights), where message volume
+    -- not scheduling -- dominates.  Both arms run the *identical*
+    entry-point call; only ``backend=`` differs.
+
+    Timing is interleaved best-of-``repeats`` (each repeat times the
+    fast backend then the columnar backend, each keeping its fastest),
+    as in E19/E20.  The baseline is the **fast** backend -- itself
+    differentially pinned to the reference -- because at these sizes the
+    reference backend's O(n)-per-round scans would measure E19's effect
+    again, not the columnar engine's.  Every timed pair is
+    differentially re-checked (distances, hops, parents, rounds,
+    messages, words, per-channel and per-node counters), so a speedup
+    can never come from the backends quietly computing different things.
+
+    Each size produces one row per available bulk implementation
+    (``impl="numpy"`` and, always, ``impl="python"`` -- the pure-Python
+    fallback ships the same bulk semantics without numpy and gets its
+    own number so the fallback cannot silently rot into a slowdown).
+
+    ``timing=False`` switches to the deterministic mode used by the
+    ``obs bench`` smoke suite and its committed baseline: no clocks --
+    ``measured`` is the (deterministic) round count plus the
+    differential-agreement flag, bit-stable across machines.
+
+    ``measured`` (timing mode) is the speedup (fast seconds / columnar
+    seconds); the CI gate lives in ``benchmarks/bench_columnar.py``
+    (fails below 2x at the largest size).
+    """
+    from ..core.bellman_ford import run_bellman_ford
+    from ..graphs import grid_graph
+    from ..perf import columnar as columnar_mod
+
+    rep = report or ExperimentReport(
+        "E23", "Columnar backend speedup: bulk-synchronous array rounds "
+               "vs the fast backend's per-message delivery on grid "
+               "Bellman-Ford (single source, random weights)")
+    impls = (("numpy", "python") if columnar_mod._numpy() is not None
+             else ("python",))
+    for side in sides:
+        g = grid_graph(side, side, w_max=w_max, zero_fraction=zero_fraction,
+                       seed=seed)
+        for impl in impls:
+
+            def timed(backend):
+                t0 = time.perf_counter()
+                r = run_bellman_ford(g, 0, backend=backend)
+                return time.perf_counter() - t0, r
+
+            prev = columnar_mod.set_numpy_enabled(impl == "numpy")
+            try:
+                fast_s = col_s = math.inf
+                fast_res = col_res = None
+                for _ in range(max(1, repeats if timing else 1)):
+                    dt, r = timed("fast")
+                    if dt < fast_s:
+                        fast_s, fast_res = dt, r
+                    dt, c = timed("columnar")
+                    if dt < col_s:
+                        col_s, col_res = dt, c
+            finally:
+                columnar_mod.set_numpy_enabled(prev)
+            if (fast_res.dist != col_res.dist
+                    or fast_res.hops != col_res.hops
+                    or fast_res.parent != col_res.parent):
+                raise AssertionError(
+                    f"E23 side={side} impl={impl}: backends disagree on "
+                    f"outputs -- speedup numbers would be meaningless "
+                    f"(conformance suite escape, see "
+                    f"tests/backend_conformance.py)")
+            mf, mc = fast_res.metrics, col_res.metrics
+            if (mf.rounds != mc.rounds or mf.messages != mc.messages
+                    or mf.words != mc.words
+                    or mf.channel_messages != mc.channel_messages
+                    or mf.node_sends != mc.node_sends):
+                raise AssertionError(
+                    f"E23 side={side} impl={impl}: backends disagree on "
+                    f"metrics (rounds {mf.rounds} vs {mc.rounds}, "
+                    f"messages {mf.messages} vs {mc.messages}, words "
+                    f"{mf.words} vs {mc.words})")
+            base = {"n": g.n, "rows": side, "cols": side, "impl": impl}
+            if timing:
+                rep.add(base, measured=round(fast_s / col_s, 2),
+                        fast_s=round(fast_s, 4),
+                        columnar_s=round(col_s, 4),
+                        rounds=mc.rounds, messages=mc.messages)
+            else:
+                rep.add(base, measured=mc.rounds, messages=mc.messages,
+                        words=mc.words, backends_agree=1)
+    return rep
+
+
 def sweep_fault_tolerance(*, drop_rates: Sequence[float] = (0.0, 0.01, 0.05, 0.1),
                           seeds: Sequence[int] = (0, 1),
                           sizes: Sequence[int] = (10, 14),

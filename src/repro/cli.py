@@ -10,7 +10,7 @@ Commands operate on graph files in the plain-text format of
 * ``hkssp`` -- the (h, k)-SSP problem (the paper's weak contract);
 * ``approx``-- (1+eps)-approximate APSP;
 * ``bounds``-- evaluate the paper's bound formulas for given parameters;
-* ``bench`` -- run one of the experiment sweeps (E1-E22) and print its
+* ``bench`` -- run one of the experiment sweeps (E1-E23) and print its
   measured-vs-bound table, optionally fanned out across worker
   processes (``--jobs N``) via :class:`repro.perf.SweepExecutor`;
 * ``explain``-- replay how one node learned its distance from one source;
@@ -37,10 +37,11 @@ Commands operate on graph files in the plain-text format of
   and can fail on regression vs a stored baseline, ``obs diff``
   compares two stored records.
 
-Simulation commands accept ``--backend reference|fast`` to pick the
-CONGEST simulator backend (:mod:`repro.perf.backends`); the fast backend
-honors the full hook surface (fault injection, invariant monitoring,
-tracing, metrics, event recording) and is differentially pinned to the
+Simulation commands accept ``--backend`` (any registered name:
+``reference``, ``fast``, ``columnar``) to pick the CONGEST simulator
+backend (:mod:`repro.perf.backends`); the non-reference backends honor
+the full hook surface (fault injection, invariant monitoring, tracing,
+metrics, event recording) and are differentially pinned to the
 reference one on every hook observation, so backend choice is purely a
 wall-clock decision.
 """
@@ -217,6 +218,7 @@ def cmd_bench(args, out) -> int:
         "E20": lambda: [sweep_mod.sweep_node_kernels()],
         "E21": lambda: [sweep_mod.sweep_recovery()],
         "E22": lambda: [sweep_mod.sweep_serving()],
+        "E23": lambda: [sweep_mod.sweep_columnar()],
     }
     key = args.experiment.upper()
     if key == "ALL":
@@ -570,6 +572,11 @@ _SMOKE_SUITE = (
     # benchmarks/bench_serving.py, not the smoke compare).
     ("repro.analysis.sweep:sweep_serving",
      {"sizes": ((32, 0.15, 4000),), "timing": False}),
+    # E23 in its clock-free mode: deterministic rounds/messages plus the
+    # fast-vs-columnar agreement flag (the timed >= 2x columnar gate is
+    # benchmarks/bench_columnar.py, not the smoke compare).
+    ("repro.analysis.sweep:sweep_columnar",
+     {"sides": (12,), "timing": False}),
 )
 
 
@@ -663,7 +670,8 @@ def cmd_bounds(args, out) -> int:
 
 
 def _add_backend_flag(parser) -> None:
-    parser.add_argument("--backend", choices=["reference", "fast"],
+    from .perf.backends import BACKENDS
+    parser.add_argument("--backend", choices=sorted(BACKENDS),
                         help="simulator backend (default: ambient, i.e. "
                              "REPRO_BACKEND or 'reference')")
 
@@ -728,7 +736,7 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("-q", "--quiet", action="store_true")
     ap.set_defaults(func=cmd_approx)
 
-    be = sub.add_parser("bench", help="run an experiment sweep (E1-E22 or all)")
+    be = sub.add_parser("bench", help="run an experiment sweep (E1-E23 or all)")
     be.add_argument("experiment", help="experiment id, e.g. E2, or 'all'")
     be.add_argument("--jobs", type=int, default=1, metavar="N",
                     help="fan seed-splittable sweeps out across N worker "

@@ -13,6 +13,14 @@ correctness for wall-clock silently*:
   streams, and post-mortems (``tests/differential.py``).
   :class:`BackendUnsupported` remains public API for future backend
   limitations; nothing raises it today.
+* :class:`ColumnarNetwork` (``backend="columnar"`` /
+  ``REPRO_BACKEND=columnar``) goes one step further for the relaxation
+  program family: flat numpy columns (pure-Python fallback behind
+  ``REPRO_COLUMNAR_NUMPY``) and whole-round bulk array operations
+  instead of per-message Python objects; every other program -- and
+  every hooked run -- executes on the inherited event-driven loop.
+  Pinned by ``tests/backend_conformance.py``, which parametrizes the
+  differential suite over the :data:`BACKENDS` registry.
 * :class:`SweepExecutor` fans seed-major parameter sweeps across
   ``multiprocessing`` workers and merges the rows back in task order,
   reproducing the sequential reports exactly
@@ -29,6 +37,7 @@ from .backends import (
     set_default_backend,
     use_backend,
 )
+from .columnar import ColumnarNetwork
 from .fast_network import FastNetwork
 from .sweep_executor import (
     EXPERIMENT_SWEEPS,
@@ -44,6 +53,7 @@ from .sweep_executor import (
 __all__ = [
     "BACKENDS",
     "BackendUnsupported",
+    "ColumnarNetwork",
     "EXPERIMENT_SWEEPS",
     "FastNetwork",
     "SweepExecutor",

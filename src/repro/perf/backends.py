@@ -1,15 +1,22 @@
 """Simulator backend selection.
 
-Two interchangeable CONGEST simulator backends exist:
+Three interchangeable CONGEST simulator backends exist:
 
 * ``"reference"`` -- :class:`repro.congest.network.Network`, the
   straight-line reference simulator;
 * ``"fast"`` -- :class:`repro.perf.fast_network.FastNetwork`, the
   event-driven worklist backend, differentially tested to be
   bit-identical on outputs, :class:`~repro.congest.metrics.RunMetrics`,
-  fault statistics, trace event streams, and post-mortems.
+  fault statistics, trace event streams, and post-mortems;
+* ``"columnar"`` -- :class:`repro.perf.columnar.ColumnarNetwork`, the
+  bulk-synchronous engine: flat numpy (or pure-Python, see
+  ``REPRO_COLUMNAR_NUMPY``) columns and per-round array operations for
+  the relaxation program family, the inherited event-driven loop for
+  everything else, pinned by the same differential machinery
+  (``tests/backend_conformance.py`` parametrizes the whole suite over
+  this registry).
 
-Both backends support the full hook surface (``fault_plan``,
+All backends support the full hook surface (``fault_plan``,
 ``monitor``, ``tracer``, ``registry``, ``record_window``), so backend
 choice is purely a wall-clock decision: there is no hook combination
 that forces one backend, and the unsupported set is empty.  (Historical
@@ -28,7 +35,7 @@ Call sites in :mod:`repro.core` construct networks through
 entry point / CLI command threads an optional ``backend=`` argument down
 to it.  Selection precedence:
 
-1. an explicit ``backend=`` argument (``"reference"`` / ``"fast"``);
+1. an explicit ``backend=`` argument (a :data:`BACKENDS` name);
 2. the ambient default, set by :func:`set_default_backend` or the
    :func:`use_backend` context manager;
 3. the ``REPRO_BACKEND`` environment variable;
@@ -49,13 +56,15 @@ from typing import Any, Callable, Dict, Iterator, Optional
 
 from ..congest.network import Network
 from ..congest.node import Program
+from .columnar import ColumnarNetwork
 from .fast_network import BackendUnsupported, FastNetwork
 
-#: Backend name -> network class.  Both classes share the constructor
+#: Backend name -> network class.  All classes share the constructor
 #: signature and the ``run(max_rounds) -> RunMetrics`` contract.
 BACKENDS: Dict[str, Any] = {
     "reference": Network,
     "fast": FastNetwork,
+    "columnar": ColumnarNetwork,
 }
 
 #: The ambient default; ``None`` means "not chosen yet" -- resolved
@@ -130,15 +139,17 @@ def make_network(graph: Any, program_factory: Callable[[int], Program],
                  *, backend: Optional[str] = None, **kwargs: Any):
     """Construct a simulator network on the selected backend.
 
-    ``backend`` is ``"reference"``, ``"fast"``, or ``None`` (use the
-    ambient default).  Every hook kwarg is honored by every backend, so
-    selection never depends on the hooks a call carries.
+    ``backend`` is a :data:`BACKENDS` name (``"reference"``, ``"fast"``,
+    ``"columnar"``) or ``None`` (use the ambient default).  Every hook
+    kwarg is honored by every backend, so selection never depends on
+    the hooks a call carries.
     """
     name = _validated(backend) if backend is not None else _resolved_default()
     return BACKENDS[name](graph, program_factory, **kwargs)
 
 
 __all__ = [
-    "BACKENDS", "BackendUnsupported", "FastNetwork", "make_network",
-    "set_default_backend", "get_default_backend", "use_backend",
+    "BACKENDS", "BackendUnsupported", "ColumnarNetwork", "FastNetwork",
+    "make_network", "set_default_backend", "get_default_backend",
+    "use_backend",
 ]

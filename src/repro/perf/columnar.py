@@ -1,0 +1,543 @@
+"""The columnar bulk-synchronous simulator backend.
+
+:class:`ColumnarNetwork` is the third registered backend
+(``backend="columnar"`` / ``REPRO_BACKEND=columnar``).  Where the fast
+backend removed the reference loop's per-round O(n) scans (PR 3-4) and
+the node-state kernels removed the per-entry list scans (PR 5), the
+remaining per-message cost on the hot path is *Python object traffic*:
+an :class:`~repro.congest.message.Envelope` allocation, a payload tuple,
+a ``Counter`` update, and several method calls for every single message.
+At n in the tens of thousands that object traffic dominates wall-clock.
+
+The columnar engine eliminates it for the **relaxation family** of
+programs (:class:`~repro.core.bellman_ford.BellmanFordProgram` -- SSSP,
+h-hop DP, the k-source/APSP baselines, and the serve/recovery layers'
+table builds, which all bottom out in it): per-node state lives in flat
+columns (distances, arrival rounds, parents, the send schedule), the
+graph lives in CSR arrays, and each round's sends, deliveries, distance
+updates, and wavefront evictions execute as a handful of bulk array
+operations instead of ~messages x method calls:
+
+* **send schedule** -- the relaxation wavefront is a single flat array
+  of scheduled node ids (every improved node fires in the next round,
+  so the whole schedule is one ``(round, nodes[])`` pair); quiescence
+  is ``len(wave) == 0``;
+* **deliveries** -- one CSR gather produces the round's full
+  ``(src, dst, weight)`` edge batch; candidate distances are
+  ``d[src] + w`` in one vector op; no Envelope or payload tuple is
+  ever built;
+* **distance updates** (the relaxation analogue of the pipelined
+  ``insert_sp``) -- a scatter-min over the batch, with the reference
+  backend's deterministic tie-break (first strictly-improving sender in
+  ascending-id inbox order wins the parent slot) reproduced by a second
+  scatter-min over the argmin set;
+* **budget evictions** -- consumed schedule slots are retired wholesale
+  (the wavefront array is *replaced*, not edited per node) and message
+  / word / per-channel accounting accumulates in flat per-edge counters
+  flushed to :class:`~repro.congest.metrics.RunMetrics` once per run.
+
+Equality is pinned, not hoped for: ``tests/backend_conformance.py``
+drives every backend in :data:`repro.perf.backends.BACKENDS` through
+the differential harness (Hypothesis corpora, golden fixtures,
+instrumented digests, resumption, hook parity), and the engine
+*materializes* its columns back into the program objects at every
+``run()`` exit -- so ``outputs()``, resumption, checkpointing, and
+post-mortems read the exact state the reference execution would have
+left behind.
+
+Programs outside the vectorizable family -- and any run with a fault
+plan, monitor, tracer, or record window attached -- execute on the
+inherited event-driven loop
+(:class:`~repro.perf.fast_network.FastNetwork`), which honors the full
+hook surface with reference semantics.  That is the explicit-vs-ambient
+rule of :mod:`repro.perf.backends` taken seriously: an explicit
+``backend="columnar"`` must never silently diverge, so the bulk path is
+taken exactly when it is provably equivalent, and eligibility is
+re-decided at each ``run()`` entry from the programs themselves (one
+O(n + m) scan, amortized over the whole run).
+
+numpy is optional.  The bulk kernels have two interchangeable
+implementations -- vectorized numpy and a batched pure-Python fallback
+(no per-message objects either way) -- selected by the
+``REPRO_COLUMNAR_NUMPY`` feature flag (``auto`` when unset: use numpy
+iff importable; ``0`` forces the fallback, ``1`` requires numpy and
+raises if it is missing).  CI runs the conformance suite in a
+numpy-hidden job to keep the fallback honest.
+"""
+
+from __future__ import annotations
+
+import os
+from math import inf as _INF
+from time import perf_counter as _perf
+from typing import Any, List, Optional, Type
+
+from ..obs.profiling import HOT as _HOT
+from .fast_network import BackendUnsupported, FastNetwork, RoundLimitExceeded
+
+# ---------------------------------------------------------------------------
+# numpy feature gate
+
+_np = None
+_np_checked = False
+
+
+def _numpy():
+    """The numpy module, or ``None`` -- resolved once, lazily."""
+    global _np, _np_checked
+    if not _np_checked:
+        try:
+            import numpy
+            _np = numpy
+        except ImportError:
+            _np = None
+        _np_checked = True
+    return _np
+
+
+#: Tri-state numpy policy: ``None`` = follow ``REPRO_COLUMNAR_NUMPY``
+#: (then auto-detect); ``True``/``False`` = forced by
+#: :func:`set_numpy_enabled` (tests exercise the fallback this way).
+_numpy_override: Optional[bool] = None
+
+
+def numpy_enabled() -> bool:
+    """Whether the bulk kernels use numpy for this process.
+
+    Resolution order: the :func:`set_numpy_enabled` override, then the
+    ``REPRO_COLUMNAR_NUMPY`` environment variable, then auto-detection.
+    Forcing ``1`` without numpy installed raises at the first columnar
+    run rather than silently degrading (the explicit-request rule).
+    """
+    if _numpy_override is not None:
+        return _numpy_override
+    env = os.environ.get("REPRO_COLUMNAR_NUMPY", "auto").strip().lower()
+    if env in ("0", "false", "no", "off"):
+        return False
+    if env in ("1", "true", "yes", "on"):
+        if _numpy() is None:
+            # BackendUnsupported is a RuntimeError the CLI maps to a
+            # clean ``error: ...`` + exit 2 instead of a traceback
+            raise BackendUnsupported(
+                "REPRO_COLUMNAR_NUMPY=1 requires numpy, which is not "
+                "importable; unset it (or set 0) for the pure-Python "
+                "columnar fallback")
+        return True
+    if env not in ("auto", ""):
+        raise ValueError(
+            f"REPRO_COLUMNAR_NUMPY: unknown value {env!r}; expected "
+            f"auto, 0, or 1")
+    return _numpy() is not None
+
+
+def set_numpy_enabled(enabled: Optional[bool]) -> Optional[bool]:
+    """Force (or, with ``None``, un-force) the numpy bulk kernels;
+    returns the previous override.  Test hook mirroring
+    :func:`repro.core.node_list.set_paranoid`."""
+    global _numpy_override
+    prev = _numpy_override
+    _numpy_override = enabled if enabled is None else bool(enabled)
+    return prev
+
+
+# ---------------------------------------------------------------------------
+# deliberate-corruption hook (mutation tests for the conformance suite)
+
+#: ``None`` in production.  tests/backend_conformance.py sets a mode via
+#: :func:`set_corruption` to verify the conformance suite *catches* a
+#: broken columnar round -- the same paranoia-about-the-test-suite that
+#: tests/test_node_list_kernels.py applies to the node kernels.
+_CORRUPTION: Optional[str] = None
+
+CORRUPTION_MODES = (
+    # drop the last scheduled sender from each wavefront, as an
+    # off-by-one in the bulk schedule-retirement slice would:
+    "evict-off-by-one",
+    # skip the per-round node_sends bulk update, as a stale counter
+    # column would:
+    "stale-count",
+)
+
+
+def set_corruption(mode: Optional[str]) -> Optional[str]:
+    """Install a deliberate columnar-kernel bug (test hook); returns the
+    previous mode.  ``None`` restores correct behaviour."""
+    global _CORRUPTION
+    if mode is not None and mode not in CORRUPTION_MODES:
+        raise ValueError(
+            f"unknown corruption mode {mode!r}; pick one of "
+            f"{CORRUPTION_MODES}")
+    prev, _CORRUPTION = _CORRUPTION, mode
+    return prev
+
+
+# ---------------------------------------------------------------------------
+# the relaxation kernel
+
+
+class _RelaxationKernel:
+    """Columnar executor for networks whose every program is a
+    :class:`~repro.core.bellman_ford.BellmanFordProgram`.
+
+    The engine is load / compute / store: ``run`` reads the programs'
+    state into flat columns, executes rounds as bulk array operations,
+    and materializes the columns back into the program objects in a
+    ``finally`` -- so between ``run()`` calls the programs remain the
+    single source of truth (outputs, resumption, checkpoints, and
+    post-mortems never see kernel-private state), exactly as the fast
+    backend rebuilds its worklist heap on every entry.
+    """
+
+    @staticmethod
+    def matches(net: "ColumnarNetwork") -> bool:
+        """Whether this network's current state is bulk-executable.
+
+        Beyond the program family, three properties the vectorized
+        round relies on are checked up front (each falls back to the
+        generic loop rather than diverging):
+
+        * one hop cutoff shared by all nodes (the silent-round cutoff
+          is applied to the whole wavefront at once);
+        * a *single* wavefront -- every scheduled node announces in the
+          same round.  True throughout any fault-free relaxation run,
+          but a checkpoint captured mid-flight under faults can restore
+          staggered announce rounds onto a fault-free network;
+        * plain-``int`` weights and duplicate-free out-neighbours, so
+          float64 columns reproduce the reference's output types
+          exactly and CONGEST channel enforcement can never trigger on
+          the bulk path (a duplicated channel must raise the reference
+          backend's ``CongestionError``, which the generic loop does).
+        """
+        from ..core.bellman_ford import BellmanFordProgram
+        programs = net.programs
+        if not programs or type(programs[0]) is not BellmanFordProgram:
+            return False
+        hops_cap = programs[0].max_hops
+        wave_round = None
+        for p in programs:
+            if type(p) is not BellmanFordProgram or p.max_hops != hops_cap:
+                return False
+            a = p._announce
+            if a is not None:
+                if wave_round is None:
+                    wave_round = a
+                elif a != wave_round:
+                    return False
+        for ctx in net.contexts:
+            seen = set()
+            for u, w in ctx.out_edges:
+                if type(w) is not int or u in seen:
+                    return False
+                seen.add(u)
+        return True
+
+    def __init__(self, net: "ColumnarNetwork") -> None:
+        self.net = net
+        self.n = net.n
+        self.max_hops = net.programs[0].max_hops
+        # CSR of the outgoing directed edges (broadcast_out targets),
+        # node ranges in increasing node order.
+        indptr = [0]
+        heads: List[int] = []
+        weights: List[int] = []
+        for v in range(self.n):
+            for u, w in net.contexts[v].out_edges:
+                heads.append(u)
+                weights.append(w)
+            indptr.append(len(heads))
+        self._indptr = indptr
+        self._heads = heads
+        self._weights = weights
+        #: Per-CSR-edge message tallies, flushed to the RunMetrics
+        #: Counter once per run (bulk accounting, not per-message).
+        self._edge_msgs = [0] * len(heads)
+        self._use_np = numpy_enabled()
+        if self._use_np:
+            np = _numpy()
+            self._np_indptr = np.asarray(indptr, dtype=np.int64)
+            self._np_heads = np.asarray(heads, dtype=np.int64)
+            self._np_weights = np.asarray(weights, dtype=np.float64)
+            self._np_edge_msgs = np.zeros(len(heads), dtype=np.int64)
+
+    # -- load / store ------------------------------------------------------
+
+    def _load(self):
+        """Program state -> columns.  Distances as float64 (exact for
+        the ``int`` weights :meth:`matches` guarantees; inf = unset)."""
+        programs = self.net.programs
+        n = self.n
+        d = [0.0] * n
+        hops = [0.0] * n
+        parent = [-1] * n
+        wave: List[int] = []
+        wave_round = None
+        for v, p in enumerate(programs):
+            d[v] = p.d
+            hops[v] = p.hops
+            parent[v] = -1 if p.parent is None else p.parent
+            if p._announce is not None:
+                wave_round = p._announce
+                wave.append(v)
+        if self._use_np:
+            np = _numpy()
+            d = np.asarray(d, dtype=np.float64)
+            hops = np.asarray(hops, dtype=np.float64)
+            parent = np.asarray(parent, dtype=np.int64)
+        return d, hops, parent, wave, wave_round
+
+    def _store(self, d, hops, parent, wave, wave_round) -> None:
+        """Columns -> program state, as plain Python scalars (the
+        digest tests ``repr()`` the outputs, and the reference backend
+        produces ``int`` distances for ``int`` weights -- an
+        ``np.int64`` or stray ``5.0`` leaking out would change the
+        bytes)."""
+        programs = self.net.programs
+        scheduled = set(wave)
+        for v, p in enumerate(programs):
+            dv = float(d[v])
+            hv = float(hops[v])
+            pv = int(parent[v])
+            p.d = dv if dv == _INF else int(dv)
+            p.hops = hv if hv == _INF else int(hv)
+            p.parent = None if pv < 0 else pv
+            p._announce = wave_round if v in scheduled else None
+
+    def _flush(self, msg_count: int, words_total: int) -> None:
+        """Bulk-accumulated accounting -> RunMetrics (idempotent: the
+        per-edge tallies are zeroed as they are drained)."""
+        metrics = self.net.metrics
+        if msg_count:
+            metrics.messages += msg_count
+            metrics.words += words_total
+            if metrics.max_message_words < 1:
+                metrics.max_message_words = 1  # (d,) payloads: 1 word
+        heads = self._heads
+        indptr = self._indptr
+        chmsg = metrics.channel_messages
+        if self._use_np:
+            np = _numpy()
+            counts = self._np_edge_msgs
+            (nz,) = np.nonzero(counts)
+            if len(nz):
+                srcs = np.searchsorted(self._np_indptr, nz, side="right") - 1
+                for e, u, c in zip(nz.tolist(), srcs.tolist(),
+                                   counts[nz].tolist()):
+                    chmsg[(u, heads[e])] += c
+                counts[nz] = 0
+        else:
+            counts = self._edge_msgs
+            u = 0
+            for e, c in enumerate(counts):
+                if c:
+                    while indptr[u + 1] <= e:
+                        u += 1
+                    chmsg[(u, heads[e])] += c
+                    counts[e] = 0
+
+    # -- the round loop ----------------------------------------------------
+
+    def run(self, max_rounds: int) -> Any:
+        net = self.net
+        metrics = net.metrics
+        registry = net.registry
+        profile = _HOT.session
+        timed = registry is not None or profile is not None
+        round_hist = None if registry is None else registry.histogram(
+            "congest.round_wall_s", scale=1e-6)
+        if not net._started:
+            contexts = net.contexts
+            for v, p in enumerate(net.programs):
+                p.on_start(contexts[v])
+            net._started = True
+
+        d, hops, parent, wave, wave_round = self._load()
+        node_sends = metrics.node_sends
+        indptr = self._indptr
+        hops_cap = self.max_hops
+        prev_r = net._round
+        msg_count = 0
+        words_total = 0
+        round_fn = self._round_numpy if self._use_np else self._round_python
+        try:
+            while wave:
+                r = wave_round
+                if r > max_rounds:
+                    self._flush(msg_count, words_total)
+                    msg_count = words_total = 0
+                    sched: List[Optional[int]] = [None] * self.n
+                    for v in wave:
+                        sched[v] = r
+                    raise RoundLimitExceeded(
+                        f"no quiescence by round {max_rounds}; "
+                        f"next scheduled activity at round {r}",
+                        net._post_mortem("round limit exceeded",
+                                         max_rounds, sched))
+                if r > prev_r + 1:
+                    metrics.skipped_rounds += r - prev_r - 1
+                prev_r = r
+                net._round = r
+                if timed:
+                    t_round = _perf()
+
+                if _CORRUPTION == "evict-off-by-one":
+                    wave = wave[:-1]
+
+                if hops_cap is not None and r > hops_cap:
+                    # Senders past the hop cutoff execute silently: the
+                    # round happens (the counter advanced through it)
+                    # but offers no load and wakes nobody.
+                    wave, wave_round = [], None
+                else:
+                    sent, improved = round_fn(d, hops, parent, wave, r)
+                    if sent:
+                        msg_count += sent
+                        words_total += sent  # (d,) payloads: 1 word each
+                        metrics.active_rounds += 1
+                        if r > metrics.rounds:
+                            metrics.rounds = r
+                        if _CORRUPTION != "stale-count":
+                            for v in wave:
+                                if indptr[v + 1] > indptr[v]:
+                                    node_sends[v] += 1
+                    wave = improved
+                    wave_round = r + 1 if improved else None
+
+                if timed:
+                    dt = _perf() - t_round
+                    if round_hist is not None:
+                        round_hist.observe(dt)
+                    if profile is not None:
+                        profile.record("columnar.round", dt)
+        finally:
+            self._store(d, hops, parent, wave, wave_round)
+            self._flush(msg_count, words_total)
+            if registry is not None:
+                from ..obs.registry import publish_run_metrics
+                net._published = publish_run_metrics(
+                    registry, metrics, state=net._published)
+        return metrics
+
+    # -- one round, numpy --------------------------------------------------
+
+    def _round_numpy(self, d, hops, parent, wave, r):
+        """Round *r*'s sends + deliveries + relaxations as vector
+        operations.  Returns ``(messages_sent, improved_nodes)`` with
+        ``improved_nodes`` sorted ascending (the next wavefront)."""
+        np = _numpy()
+        senders = np.asarray(wave, dtype=np.int64)
+        starts = self._np_indptr[senders]
+        counts = self._np_indptr[senders + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return 0, []
+        # CSR gather: the round's whole (src, dst, w) edge batch.
+        offs = np.repeat(starts - np.concatenate(
+            ([0], np.cumsum(counts)[:-1])), counts)
+        edges = np.arange(total, dtype=np.int64) + offs
+        srcs = np.repeat(senders, counts)
+        dsts = self._np_heads[edges]
+        cand = d[srcs] + self._np_weights[edges]
+        self._np_edge_msgs[edges] += 1
+        # Scatter-min relaxation.  The reference fold (ascending-src
+        # inbox, strict improvement) leaves the parent slot at the
+        # *first* sender that reached the final minimum, i.e. the
+        # minimum sender id over the argmin set.
+        best = np.full(self.n, np.inf)
+        np.minimum.at(best, dsts, cand)
+        hit = cand == best[dsts]
+        win_parent = np.full(self.n, np.iinfo(np.int64).max, dtype=np.int64)
+        np.minimum.at(win_parent, dsts[hit], srcs[hit])
+        (imp,) = np.nonzero(best < d)
+        if len(imp):
+            d[imp] = best[imp]
+            hops[imp] = r
+            parent[imp] = win_parent[imp]
+        return total, imp.tolist()
+
+    # -- one round, pure Python -------------------------------------------
+
+    def _round_python(self, d, hops, parent, wave, r):
+        """The numpy-free bulk round: still batched (no Envelope or
+        payload objects, accounting into flat counters), just with
+        Python loops doing the gather and the scatter-min."""
+        indptr, heads, weights = self._indptr, self._heads, self._weights
+        edge_msgs = self._edge_msgs
+        total = 0
+        best = {}
+        for u in wave:
+            lo, hi = indptr[u], indptr[u + 1]
+            if lo == hi:
+                continue
+            du = d[u]
+            total += hi - lo
+            for e in range(lo, hi):
+                edge_msgs[e] += 1
+                v = heads[e]
+                cand = du + weights[e]
+                cur = best.get(v)
+                # strict <: an equal candidate from a later (larger)
+                # sender never displaces the earlier one, matching the
+                # sorted-inbox fold of the reference receive loop.
+                if cur is None or cand < cur[0]:
+                    best[v] = (cand, u)
+        improved = []
+        for v, (cand, u) in best.items():
+            if cand < d[v]:
+                d[v] = cand
+                hops[v] = r
+                parent[v] = u
+                improved.append(v)
+        improved.sort()
+        return total, improved
+
+
+#: Kernel registry: the columnar engine takes the bulk path iff some
+#: kernel's ``matches`` accepts the network (and no hook is attached).
+#: Future vectorizable program families register here.
+COLUMNAR_KERNELS: List[Type[_RelaxationKernel]] = [_RelaxationKernel]
+
+
+class ColumnarNetwork(FastNetwork):
+    """Drop-in columnar backend (see the module docstring).
+
+    Same constructor, validation errors, hooks, resumption, and
+    ``run(max_rounds) -> RunMetrics`` contract as the reference
+    :class:`~repro.congest.network.Network`; programs the bulk engine
+    cannot vectorize -- and any hooked run -- execute on the inherited
+    event-driven loop, so ``backend="columnar"`` is always honored and
+    never silently diverges.
+    """
+
+    def _columnar_kernel(self):
+        """The bulk kernel for this network, or ``None`` (generic loop).
+
+        The bulk path requires the zero-hook configuration: a fault
+        plan, tracer, ring recorder, or monitor observes (or perturbs)
+        per-envelope events that the bulk engine deliberately never
+        materializes, so those runs take the instrumented loop with
+        reference semantics.  ``registry`` and HOT profiling only need
+        per-round timing and are honored on both paths.
+        """
+        if (self.fault_injector is not None or self.tracer is not None
+                or self.trace is not None or self.monitor is not None):
+            return None
+        for kernel_cls in COLUMNAR_KERNELS:
+            if kernel_cls.matches(self):
+                return kernel_cls(self)
+        return None
+
+    def run(self, max_rounds: int):
+        kernel = self._columnar_kernel()
+        if kernel is None:
+            return FastNetwork.run(self, max_rounds)
+        return kernel.run(max_rounds)
+
+
+__all__ = [
+    "COLUMNAR_KERNELS",
+    "CORRUPTION_MODES",
+    "ColumnarNetwork",
+    "numpy_enabled",
+    "set_corruption",
+    "set_numpy_enabled",
+]

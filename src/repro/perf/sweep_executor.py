@@ -253,6 +253,8 @@ EXPERIMENT_SWEEPS: Dict[str, SweepSpec] = {
     "E21": SweepSpec("repro.analysis.sweep:sweep_recovery"),
     "E22": SweepSpec("repro.analysis.sweep:sweep_serving",
                      seed_splittable=False),  # wall-clock timing: one task
+    "E23": SweepSpec("repro.analysis.sweep:sweep_columnar",
+                     seed_splittable=False),  # wall-clock timing: one task
 }
 
 

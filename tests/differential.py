@@ -1,18 +1,22 @@
-"""Differential harness pinning the fast simulator backend to the
-reference one.
+"""Differential harness pinning the alternative simulator backends to
+the reference one.
 
-The fast backend (:class:`repro.perf.FastNetwork`) is only allowed to
-exist because nothing observable distinguishes it from the reference
+A non-reference backend (:class:`repro.perf.FastNetwork`,
+:class:`repro.perf.ColumnarNetwork`, or any future entry in
+:data:`repro.perf.backends.BACKENDS`) is only allowed to exist because
+nothing observable distinguishes it from the reference
 :class:`repro.congest.Network`: same per-node outputs, same round
 counts, same message/word/congestion accounting, envelope for envelope
--- and, since the fast backend gained full hook support, the same fault
+-- and, since the backends gained full hook support, the same fault
 statistics, invariant-monitor verdicts, trace event streams, and
 post-mortem contents.  This module is the single place that comparison
-is defined, so the Hypothesis property tests
-(tests/test_differential_backend.py), the golden fixtures, and the E19
-speedup sweep all enforce the *same* notion of "identical".
+is defined, so the registry-parametrized conformance suite
+(tests/backend_conformance.py), the golden fixtures, and the E19/E23
+speedup sweeps all enforce the *same* notion of "identical".
 
-Three entry points:
+Each assertion helper takes ``backend=`` (a registry name, default
+``"fast"``) naming the backend under test; the reference backend is
+always the other side of the comparison.  Three entry points:
 
 * :func:`assert_networks_equivalent` -- construct both backends from one
   program factory and compare raw network observables (the sharpest
@@ -36,6 +40,7 @@ from repro.congest import Network, RoundLimitExceeded, RunMetrics
 from repro.faults.monitor import InvariantViolation
 from repro.obs import Tracer
 from repro.perf import FastNetwork
+from repro.perf.backends import BACKENDS
 
 
 def metrics_summary(m: RunMetrics) -> Dict[str, Any]:
@@ -62,12 +67,13 @@ def metrics_summary(m: RunMetrics) -> Dict[str, Any]:
     }
 
 
-def assert_metrics_equal(fast: RunMetrics, ref: RunMetrics,
-                         label: str = "") -> None:
-    got, want = metrics_summary(fast), metrics_summary(ref)
+def assert_metrics_equal(got_m: RunMetrics, ref_m: RunMetrics,
+                         label: str = "", backend: str = "fast") -> None:
+    got, want = metrics_summary(got_m), metrics_summary(ref_m)
     assert got == want, (
-        f"fast backend diverged from reference on metrics{label and f' ({label})'}: "
-        + "; ".join(f"{k}: fast={got[k]!r} ref={want[k]!r}"
+        f"{backend} backend diverged from reference on metrics"
+        f"{label and f' ({label})'}: "
+        + "; ".join(f"{k}: {backend}={got[k]!r} ref={want[k]!r}"
                     for k in want if got[k] != want[k]))
 
 
@@ -96,20 +102,21 @@ def post_mortem_summary(pm) -> Optional[Dict[str, Any]]:
 
 
 def assert_networks_equivalent(graph, program_factory, *, max_rounds: int,
-                               **kwargs) -> Tuple[Network, FastNetwork]:
-    """Run the same program on both backends; assert equal outputs and
-    equal metrics summaries.  ``program_factory`` is called once per
-    node per backend, so it must build fresh program state each call
-    (every factory in this repo does).  Returns both networks for
-    follow-up assertions."""
+                               backend: str = "fast",
+                               **kwargs) -> Tuple[Network, Any]:
+    """Run the same program on the reference backend and on *backend*;
+    assert equal outputs and equal metrics summaries.
+    ``program_factory`` is called once per node per backend, so it must
+    build fresh program state each call (every factory in this repo
+    does).  Returns both networks for follow-up assertions."""
     ref = Network(graph, program_factory, **kwargs)
-    fast = FastNetwork(graph, program_factory, **kwargs)
+    alt = BACKENDS[backend](graph, program_factory, **kwargs)
     m_ref = ref.run(max_rounds=max_rounds)
-    m_fast = fast.run(max_rounds=max_rounds)
-    assert fast.outputs() == ref.outputs(), \
-        "fast backend diverged from reference on node outputs"
-    assert_metrics_equal(m_fast, m_ref)
-    return ref, fast
+    m_alt = alt.run(max_rounds=max_rounds)
+    assert alt.outputs() == ref.outputs(), \
+        f"{backend} backend diverged from reference on node outputs"
+    assert_metrics_equal(m_alt, m_ref, backend=backend)
+    return ref, alt
 
 
 def run_observed(network_cls, graph, program_factory, *, max_rounds: int,
@@ -152,42 +159,47 @@ def assert_instrumented_equivalent(graph, program_factory, *,
                                    max_rounds: int,
                                    fault_plan=None, monitor_factory=None,
                                    with_tracer=False, record_window: int = 0,
+                                   backend: str = "fast",
                                    **kwargs) -> Dict[str, Any]:
-    """Run both backends with the given hooks attached and assert every
-    observation -- including the failure mode -- is identical.  Returns
-    the (shared) observation dict for follow-up assertions."""
+    """Run the reference backend and *backend* with the given hooks
+    attached and assert every observation -- including the failure mode
+    -- is identical.  Returns the (shared) observation dict for
+    follow-up assertions."""
     ref = run_observed(Network, graph, program_factory,
                        max_rounds=max_rounds, fault_plan=fault_plan,
                        monitor_factory=monitor_factory,
                        with_tracer=with_tracer,
                        record_window=record_window, **kwargs)
-    fast = run_observed(FastNetwork, graph, program_factory,
-                        max_rounds=max_rounds, fault_plan=fault_plan,
-                        monitor_factory=monitor_factory,
-                        with_tracer=with_tracer,
-                        record_window=record_window, **kwargs)
+    alt = run_observed(BACKENDS[backend], graph, program_factory,
+                       max_rounds=max_rounds, fault_plan=fault_plan,
+                       monitor_factory=monitor_factory,
+                       with_tracer=with_tracer,
+                       record_window=record_window, **kwargs)
     for key in ("outcome", "outputs", "metrics", "trace", "recorded",
                 "monitor_rounds"):
-        assert fast[key] == ref[key], (
-            f"fast backend diverged from reference on instrumented "
-            f"{key}: fast={fast[key]!r} ref={ref[key]!r}")
+        assert alt[key] == ref[key], (
+            f"{backend} backend diverged from reference on instrumented "
+            f"{key}: {backend}={alt[key]!r} ref={ref[key]!r}")
     return ref
 
 
 def assert_entrypoint_equivalent(run: Callable[..., Any], *args,
                                  compare: Sequence[str] = ("dist",),
+                                 backend: str = "fast",
                                  **kwargs) -> Tuple[Any, Any]:
-    """Run ``run(*args, backend=..., **kwargs)`` once per backend and
-    assert the fields named in ``compare`` plus the metrics summary are
-    identical.  Hook kwargs (``fault_plan`` etc.) pass straight through,
-    so entry-point-level instrumented runs compare the same way.
-    Returns ``(reference_result, fast_result)``."""
+    """Run ``run(*args, backend=..., **kwargs)`` on the reference
+    backend and on *backend*, and assert the fields named in
+    ``compare`` plus the metrics summary are identical.  Hook kwargs
+    (``fault_plan`` etc.) pass straight through, so entry-point-level
+    instrumented runs compare the same way.  Returns
+    ``(reference_result, backend_result)``."""
     ref = run(*args, backend="reference", **kwargs)
-    fast = run(*args, backend="fast", **kwargs)
+    alt = run(*args, backend=backend, **kwargs)
     for attr in compare:
-        got, want = getattr(fast, attr), getattr(ref, attr)
+        got, want = getattr(alt, attr), getattr(ref, attr)
         assert got == want, (
-            f"fast backend diverged from reference on "
-            f"{run.__name__}().{attr}: fast={got!r} ref={want!r}")
-    assert_metrics_equal(fast.metrics, ref.metrics, label=run.__name__)
-    return ref, fast
+            f"{backend} backend diverged from reference on "
+            f"{run.__name__}().{attr}: {backend}={got!r} ref={want!r}")
+    assert_metrics_equal(alt.metrics, ref.metrics, label=run.__name__,
+                         backend=backend)
+    return ref, alt

@@ -8,6 +8,13 @@ unstable.  Two independent runs must agree on everything measurable.
 
 import pytest
 
+from repro.perf.backends import BACKENDS
+
+#: Every registered backend except the reference itself: each must
+#: reproduce the reference digests bit for bit.  Derived from the
+#: registry so a new backend is covered the moment it is registered.
+ALT_BACKENDS = sorted(b for b in BACKENDS if b != "reference")
+
 from repro.core import (
     run_approx_apsp,
     run_apsp,
@@ -73,10 +80,11 @@ def test_fault_injected_runs_identical():
     assert fault_digest() == fault_digest()
 
 
-def test_fault_digest_backend_independent():
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
+def test_fault_digest_backend_independent(backend):
     """The resilient ack/retransmit run -- the E18 workload -- produces
-    the identical digest on the fast backend."""
-    assert fault_digest("fast") == fault_digest("reference")
+    the identical digest on every registered backend."""
+    assert fault_digest(backend) == fault_digest("reference")
 
 
 def instrumented_digest(backend):
@@ -86,16 +94,14 @@ def instrumented_digest(backend):
     import hashlib
 
     from differential import run_observed
-    from repro.congest import Network
     from repro.core.bellman_ford import BellmanFordProgram
     from repro.faults import FaultPlan
-    from repro.perf import FastNetwork
 
     g = random_graph(12, p=0.35, w_max=8, zero_fraction=0.2, seed=9)
     plan = FaultPlan(seed=4, drop_rate=0.1, duplicate_rate=0.15,
                      delay_rate=0.2, corrupt_rate=0.05, max_delay=4)
-    cls = {"reference": Network, "fast": FastNetwork}[backend]
-    obs = run_observed(cls, g, lambda v: BellmanFordProgram(v, 0),
+    obs = run_observed(BACKENDS[backend], g,
+                       lambda v: BellmanFordProgram(v, 0),
                        max_rounds=800, fault_plan=plan, with_tracer=True,
                        record_window=3)
     m = obs["metrics"]
@@ -106,8 +112,9 @@ def instrumented_digest(backend):
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
-def test_instrumented_digest_backend_independent():
-    assert instrumented_digest("fast") == instrumented_digest("reference")
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
+def test_instrumented_digest_backend_independent(backend):
+    assert instrumented_digest(backend) == instrumented_digest("reference")
 
 
 def test_fault_seed_changes_execution():
@@ -140,26 +147,30 @@ def backend_digest(backend):
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
-def test_fast_backend_digest_matches_reference():
-    """The two simulator backends are not merely equivalent-ish: the
-    full observable digest is identical, and stable across runs."""
-    assert backend_digest("fast") == backend_digest("fast")
-    assert backend_digest("fast") == backend_digest("reference")
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
+def test_backend_digest_matches_reference(backend):
+    """The simulator backends are not merely equivalent-ish: the full
+    observable digest is identical, and stable across runs."""
+    assert backend_digest(backend) == backend_digest(backend)
+    assert backend_digest(backend) == backend_digest("reference")
 
 
 def test_backend_digest_stable_under_pythonhashseed():
-    """The fast backend's worklist must not leak hash ordering (its
-    inbox dicts and heap are the obvious places a set/dict iteration
-    could sneak in).  Same adversarial-subprocess check as the fault
-    digest below."""
+    """No backend may leak hash ordering (worklist heaps, inbox dicts,
+    and the columnar flush of flat counters into Counters are the
+    obvious places a set/dict iteration could sneak in).  The subprocess
+    iterates the registry itself, so a newly registered backend joins
+    the adversarial check automatically."""
     import os
     import subprocess
     import sys
 
-    code = ("from test_determinism import backend_digest, "
-            "instrumented_digest; "
-            "print(backend_digest('fast'), backend_digest('reference'), "
-            "instrumented_digest('fast'), instrumented_digest('reference'))")
+    code = (
+        "from repro.perf.backends import BACKENDS; "
+        "from test_determinism import backend_digest, instrumented_digest; "
+        "names = sorted(BACKENDS); "
+        "print(' '.join(backend_digest(b) for b in names), "
+        "' '.join(instrumented_digest(b) for b in names))")
     outputs = set()
     for hashseed in ("0", "1", "424242"):
         env = dict(os.environ, PYTHONHASHSEED=hashseed)
@@ -168,11 +179,13 @@ def test_backend_digest_stable_under_pythonhashseed():
         proc = subprocess.run(
             [sys.executable, "-c", code], cwd=os.path.dirname(
                 os.path.dirname(os.path.abspath(__file__))),
-            env=env, capture_output=True, text=True, timeout=120)
+            env=env, capture_output=True, text=True, timeout=240)
         assert proc.returncode == 0, proc.stderr
-        fast, ref, ifast, iref = proc.stdout.split()
-        assert fast == ref
-        assert ifast == iref
+        plain = proc.stdout.split()[:len(BACKENDS)]
+        instrumented = proc.stdout.split()[len(BACKENDS):]
+        assert len(set(plain)) == 1, f"backend-dependent digest: {plain}"
+        assert len(set(instrumented)) == 1, (
+            f"backend-dependent instrumented digest: {instrumented}")
         outputs.add(proc.stdout.strip())
     assert len(outputs) == 1, f"hash-seed-dependent executions: {outputs}"
 

@@ -28,7 +28,7 @@ from repro.core.bellman_ford import BellmanFordProgram
 from repro.faults import CrashWindow, FaultPlan
 from repro.graphs import random_graph
 from repro.graphs.reference import dijkstra
-from repro.perf.backends import make_network
+from repro.perf.backends import BACKENDS, make_network
 from repro.recovery import (
     CheckpointError,
     CheckpointStore,
@@ -161,8 +161,8 @@ def _suspend(net, at_round):
 
 
 class TestRunCheckpoint:
-    @pytest.mark.parametrize("suspend_backend", ["reference", "fast"])
-    @pytest.mark.parametrize("resume_backend", ["reference", "fast"])
+    @pytest.mark.parametrize("suspend_backend", sorted(BACKENDS))
+    @pytest.mark.parametrize("resume_backend", sorted(BACKENDS))
     def test_resume_equals_uninterrupted(self, suspend_backend,
                                          resume_backend):
         g = random_graph(10, p=0.4, w_max=6, zero_fraction=0.2, seed=3)
@@ -272,7 +272,7 @@ class TestCrashRecovery:
         return FaultPlan(crashes=(CrashWindow(
             node, crash, restart, restart_from="checkpoint"),), **kwargs)
 
-    @pytest.mark.parametrize("backend", ["reference", "fast"])
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
     def test_converges_to_dijkstra_after_rollback(self, backend):
         g = random_graph(10, p=0.4, w_max=6, zero_fraction=0.2, seed=3)
         true, _ = dijkstra(g, 0)

@@ -1,8 +1,10 @@
 """Tests for the distance-oracle serving layer (repro.serve)."""
 
 import asyncio
+from collections import OrderedDict
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.graphs import WeightedDigraph, dijkstra, random_graph
 from repro.obs import MetricsRegistry
@@ -137,6 +139,71 @@ class TestRouteCache:
         assert snap["serve.cache_hits"] == 1
         assert snap["serve.cache_misses"] == 1
         assert snap["serve.cache_invalidations"] == 1
+
+    # A small key space (4 sources x 4 targets) against capacities 0-5
+    # forces constant collisions, evictions, and whole-source drops.
+    _keys = st.tuples(st.integers(0, 3), st.integers(0, 3))
+    _ops = st.lists(st.one_of(
+        st.tuples(st.just("put"), _keys, st.integers(0, 9)),
+        st.tuples(st.just("get"), _keys),
+        st.tuples(st.just("invalidate"),
+                  st.sets(st.integers(0, 3), max_size=3)),
+        st.tuples(st.just("clear")),
+    ), max_size=40)
+
+    @settings(max_examples=150, deadline=None)
+    @given(capacity=st.integers(0, 5), ops=_ops)
+    def test_model_based_lru_consistency(self, capacity, ops):
+        """Under arbitrary put/get/invalidate/clear sequences the cache
+        tracks a model OrderedDict implementing textbook bounded LRU:
+        same contents, same recency order (checked through
+        ``batch_view``, whose iteration order IS the eviction order),
+        same hit/miss/eviction/invalidation counters after every
+        operation."""
+        c = RouteCache(capacity)
+        model = OrderedDict()
+        counts = {"hits": 0, "misses": 0, "evictions": 0,
+                  "invalidations": 0}
+        for op in ops:
+            if op[0] == "put":
+                _, key, value = op
+                c.put(key, value)
+                if capacity > 0:
+                    if key in model:
+                        model.move_to_end(key)
+                    model[key] = value
+                    if len(model) > capacity:
+                        model.popitem(last=False)
+                        counts["evictions"] += 1
+            elif op[0] == "get":
+                _, key = op
+                got = c.get(key, default="MISS")
+                if key in model:
+                    model.move_to_end(key)
+                    counts["hits"] += 1
+                    assert got == model[key]
+                else:
+                    counts["misses"] += 1
+                    assert got == "MISS"
+            elif op[0] == "invalidate":
+                _, sources = op
+                stale = [k for k in model if k[0] in sources]
+                for k in stale:
+                    del model[k]
+                counts["invalidations"] += len(stale)
+                assert c.invalidate_sources(sources) == len(stale)
+            else:  # clear
+                counts["invalidations"] += len(model)
+                assert c.clear() == len(model)
+                model.clear()
+            assert list(c.batch_view().items()) == list(model.items())
+            assert len(c) == len(model)
+            assert (c.hits, c.misses, c.evictions, c.invalidations) == (
+                counts["hits"], counts["misses"], counts["evictions"],
+                counts["invalidations"])
+        total = counts["hits"] + counts["misses"]
+        assert c.hit_rate == (counts["hits"] / total if total else 0.0)
+        assert c.stats()["size"] == len(model)
 
 
 class TestOracleQueries:
