@@ -1,302 +1,87 @@
-"""Regenerate EXPERIMENTS.md from live benchmark sweeps.
+"""Regenerate EXPERIMENTS.md from the benchmark sweeps, memoized.
 
 Run:  python benchmarks/generate_experiments_md.py
 (Each experiment's sweep is the same code the pytest benchmarks use.)
 
-``--refresh-reports`` additionally routes every sweep through
+The document is one campaign (:func:`repro.campaign.experiments_md_spec`)
+run through the content-addressed result store, so a regeneration after
+an edit that did not touch a sweep function is pure cache hits, and an
+edit to one sweep recomputes only that experiment's tasks.  The section
+titles, blurbs, and chart hooks live in :data:`repro.campaign.SECTIONS`;
+rendering is :func:`repro.campaign.render_experiments_md` -- the same
+path ``repro campaign report`` uses, so this script holds no table
+logic of its own.
+
+``--store DIR`` picks the result store (default
+``benchmarks/.campaign``, gitignored); ``--no-cache`` runs everything
+fresh in a throwaway store; ``--force`` recomputes into the persistent
+store.  ``--refresh-reports`` additionally routes every report through
 :func:`repro.obs.write_last_run_reports`, persisting
 ``benchmarks/BENCH_last_run.json`` and regenerating
 ``benchmarks/last_run_reports.txt`` from the stored record -- the same
 path the pytest-benchmark session hook uses, so the text file can never
-drift from the store again.
+drift from the store.
 """
 
 from __future__ import annotations
 
 import argparse
+import tempfile
 import time
 from pathlib import Path
 
-from repro.analysis import (
-    render_markdown,
-    sweep_backend_speedup,
-    sweep_columnar,
-    sweep_fault_tolerance,
-    sweep_invariants,
-    sweep_node_kernels,
-    sweep_recovery,
-    sweep_serving,
-    sweep_short_range,
-    sweep_table1_exact,
-    sweep_theorem11_apsp,
-    sweep_theorem11_hk_ssp,
-    sweep_theorem11_kssp,
-)
-from repro.analysis.experiments import (
-    sweep_ablation_key_schedule,
-    sweep_blocker,
-    sweep_csssp,
-    sweep_corollary14_crossover,
-    sweep_extension_scaling,
-    sweep_ksource_short_range,
-    sweep_random_vs_deterministic,
-    sweep_table1_approx,
-    sweep_theorem12,
-    sweep_theorem13,
-    sweep_unweighted_baseline,
+from repro.campaign import (
+    CampaignRunner,
+    InlineTarget,
+    ResultStore,
+    experiments_md_spec,
+    render_experiments_md,
 )
 
-HEADER = """\
-# EXPERIMENTS -- paper-claimed vs measured
-
-Every table below is regenerated by ``pytest benchmarks/ --benchmark-only``
-(one benchmark module per experiment id; this file itself is produced by
-``python benchmarks/generate_experiments_md.py``).  The paper is a theory
-paper, so its "results" are round-complexity bounds; *measured* is the exact
-round count of the simulated CONGEST execution and *bound* the paper's
-formula (exact-constant bounds) or a calibrated-constant envelope
-(asymptotic bounds), as flagged per experiment.  ``ratio = measured /
-bound`` -- at or below 1 everywhere means the claim reproduces.
-
-Scope note: absolute round counts at these n are simulator measurements,
-not testbed numbers; the claims under reproduction are the *bounds and
-shapes* (who wins, how cost scales in W / Delta / k / h, where the
-crossover falls), per the reproduction brief in DESIGN.md.
-
-Backend note: every sweep runs on the reference CONGEST simulator by
-default; ``repro bench <id> --backend fast|columnar --jobs N`` runs the
-same sweeps on the event-driven fast backend or the bulk-synchronous
-columnar backend and/or across worker processes.  Round counts,
-messages, and congestion are pinned identical across backends and job
-counts (tests/differential.py, tests/backend_conformance.py,
-tests/test_sweep_executor.py), so the tables below do not depend on
-either flag -- only wall-clock does.  E19 and E23 measure those
-wall-clock gaps.
-
-"""
-
-SECTIONS = [
-    ("E1 -- Theorem I.1(i): (h,k)-SSP round bound (exact constants)",
-     "Every guaranteed output settles within ceil(2*sqrt(Delta*h*k)+h+k) "
-     "rounds; *measured* is the last round any node improved an output.",
-     lambda: [sweep_theorem11_hk_ssp(seeds=(0, 1), sizes=(10, 14, 18))]),
-    ("E2 -- Theorem I.1(ii): APSP in 2n*sqrt(Delta)+2n rounds (exact)",
-     "S = V, h = n-1; *measured* is the total round count (the cutoff "
-     "makes it also the termination round).",
-     lambda: [sweep_theorem11_apsp()]),
-    ("E3 -- Theorem I.1(iii): k-SSP in 2*sqrt(Delta*k*n)+n+k rounds (exact)",
-     None,
-     lambda: [sweep_theorem11_kssp()]),
-    ("E4 -- Invariants 1 & 2 of Algorithm 1",
-     "Invariant 1 (inserts strictly precede their scheduled round) and "
-     "the one-message-per-round property are runtime assertions -- any "
-     "violation would abort the sweep.  The table shows Invariant 2's "
-     "per-source list occupancy against sqrt(Delta*h/k)+1.",
-     lambda: [sweep_invariants()]),
-    ("E5 -- Lemma II.15: short-range dilation and congestion (exact)",
-     None,
-     lambda: list(sweep_short_range())),
-    ("E6 -- Figure 1 / Lemma III.4: CSSSP",
-     "Row one is the paper's own Figure 1 instance: the plain h-hop DP "
-     "assigns t distance 2, whose parent-pointer path is not an h-hop "
-     "tree path; the CSSSP collection verifies Definition III.3 and "
-     "omits t.  *measured* is construction rounds vs the Theorem I.1 "
-     "bound of the 2h-hop run.",
-     lambda: [sweep_csssp()]),
-    ("E7 -- Section III-B: blocker sets and Algorithm 4 (Lemma III.8, exact)",
-     "The distributed greedy equals the centralized reference on every "
-     "instance (asserted in tests); sizes respect the greedy set-cover "
-     "bound and every Algorithm 4 wave fits in k+h-1 (+1) rounds.",
-     lambda: list(sweep_blocker())),
-    ("E8 -- Theorem I.2: Algorithm 3 under bounded weights (asymptotic, C=12)",
-     "h chosen by the Theorem I.2 recipe; the shape claim (rounds grow "
-     "~W^(1/4), i.e. far sub-linearly) is asserted in the benchmark.",
-     lambda: [sweep_theorem12()]),
-    ("E9 -- Theorem I.3: Algorithm 3 under bounded distances (asymptotic, C=14)",
-     None,
-     lambda: [sweep_theorem13()]),
-    ("E10 -- Corollary I.4: improvement regime / crossover",
-     "On a weighted path (default n=28): the pipelined algorithm beats the "
-     "Bellman-Ford baseline while W is moderate and cedes once "
-     "Delta ~ nW passes ~n^2/4 -- the corollary's W = n^(1-eps) regime, "
-     "measured.",
-     lambda: [sweep_corollary14_crossover()]),
-    ("E11 -- Table I (exact APSP): measured head-to-head",
-     "Bounds are attached to the Algorithm 1 rows (Theorem I.1); the "
-     "other algorithms are the implemented baselines on the same "
-     "workloads.",
-     lambda: [sweep_table1_exact()]),
-    ("E12 -- Theorem I.5 / Table I (approx): (1+eps)-approx APSP with zeros",
-     "*bound* is this implementation's exact substrate budget "
-     "O((n/eps)*log(nW)) (inside the paper's O((n/eps^2) log n) for "
-     "eps <= 1); *paper_bound* column shows the paper's formula at "
-     "constant 1.  worst_ratio <= 1+eps is the accuracy claim.",
-     lambda: [sweep_table1_approx()]),
-    ("E13 -- baselines: [12] unweighted (2n) and positive-weight (Delta+n)",
-     None,
-     lambda: list(sweep_unweighted_baseline())),
-    ("E14 -- ablation: key schedule gamma and eviction policy",
-     "Only the paper-gamma rows carry a bound (Theorem I.1); the ablated "
-     "variants show why the blended key matters (distance-heavy keys "
-     "delay completion) and what the eviction budget trades (list size "
-     "vs padding).",
-     lambda: [sweep_ablation_key_schedule()]),
-    ("E15 -- extension: Gabow scaling (the Section V open problem)",
-     "Exact APSP via bit scaling over concurrent short-range instances "
-     "with per-source reduced weights; overtakes direct Algorithm 1 once "
-     "W is large.  The fifo-compose rows measure the scheduler against "
-     "the k*dilation baseline (their 'bound' column).",
-     lambda: [sweep_extension_scaling()]),
-    ("E16 -- extension: deterministic vs randomized blocker sets",
-     "Greedy Algorithm 3 vs the [13]-style sampled blocker pipeline: "
-     "sampling skips the greedy phase's rounds for a log-factor larger "
-     "blocker count; both exact.",
-     lambda: [sweep_random_vs_deterministic()]),
-    ("E17 -- the k-source short-range variant (end of Section II-C)",
-     "Joint gamma = sqrt(hk/Delta) schedule: dilation and per-node "
-     "congestion against the paper's k-source bounds.",
-     lambda: list(sweep_ksource_short_range())),
-    ("E18 -- resilience: ack/retransmit wrapper under seeded drops",
-     "Wrapped Bellman-Ford and short-range converge to exact distances "
-     "at every drop rate (asserted); the overhead columns measure the "
-     "rounds/messages cost vs the drop-free wrapped run.",
-     lambda: [sweep_fault_tolerance()]),
-    ("E19 -- fast simulator backend: wall-clock speedup (infrastructure)",
-     "Theorem I.1's pipelined schedule on weighted path graphs, timed on "
-     "both simulator backends with every pair differentially re-checked "
-     "(distances, metrics, fault statistics, trace streams); *measured* "
-     "is reference seconds / fast seconds (best of 3).  Each size is "
-     "timed bare (hooks=none, the plain delivery path) and with the "
-     "full hook set attached (hooks=full: fault injector + tracer + "
-     "ring recorder).  Wall-clock numbers are machine-dependent; CI "
-     "gates the largest size at >= 2x plain and >= 1.5x instrumented "
-     "(benchmarks/bench_backend_speedup.py).",
-     lambda: [sweep_backend_speedup()]),
-    ("E20 -- node-state kernels: wall-clock speedup (infrastructure)",
-     "Algorithm 1 with k sources spread on a weighted path (rows are "
-     "(n, k, h)) -- the long-list regime where node-side scans dominate "
-     "-- run once with the indexed NodeList kernels (bisection fire_at/"
-     "next_fire_after, per-source indexes, incremental max) and once "
-     "with the naive linear-scan ReferenceNodeList, both on the fast "
-     "backend, every pair differentially re-checked (distances, hops, "
-     "parents, rounds, messages, list statistics); *measured* is "
-     "reference-kernel seconds / indexed-kernel seconds (best of 2), "
-     "i.e. speedup on top of E19's.  Wall-clock numbers are machine-"
-     "dependent; CI gates the largest size at >= 1.5x "
-     "(benchmarks/bench_node_kernels.py).",
-     lambda: [sweep_node_kernels()]),
-    ("E21 -- recovery: incremental repair vs from-scratch recompute",
-     "Single-edge weight updates applied to completed k-source runs "
-     "(repro.recovery.DynamicRun): only the affected sources re-run, "
-     "*measured* is rounds_to_repair and *bound* the from-scratch "
-     "recompute round count on the same updated graph -- every repair "
-     "is Dijkstra-checked, and a repair may never cost more rounds "
-     "than recomputing (strictly fewer whenever a source is "
-     "unaffected; both asserted in the sweep).  The update=crash rows "
-     "apply the same edge update while a node crashes mid-repair and "
-     "restarts from its periodic checkpoint (delays + duplicates "
-     "active); they run on both simulator backends and assert "
-     "bit-identical instrumented digests.  CI gates the aggregate "
-     "saving (benchmarks/bench_recovery.py) and runs the seeded chaos "
-     "campaign (python -m repro.recovery.chaos) on top.",
-     lambda: [sweep_recovery()]),
-    ("E22 -- serving: batched+cached oracle queries vs naive table walks",
-     "A seeded Zipf query workload replayed against the distance-oracle "
-     "serving layer (repro.serve.DistanceOracle: per-source-partition "
-     "RoutingTable shards materialized by the k-source pipeline on the "
-     "fast backend, LRU route cache, batched same-source execution).  "
-     "The row=serve *measured* is naive seconds / batched+cached "
-     "steady-state seconds (the cache warmed by one pass, best of 3), "
-     "with batched answers always asserted identical to the naive "
-     "baseline's; wall-clock numbers are machine-dependent and CI gates "
-     "the largest size at >= 5x (benchmarks/bench_serving.py).  The "
-     "row=refresh rows delete a minimum-weight edge and re-serve "
-     "through repro.recovery.DynamicRun -- only affected sources "
-     "recomputed, only their shards swapped (epoch bump), only their "
-     "cache entries invalidated -- with the post-refresh answers "
-     "Dijkstra-checked through the cached query path.  The row=digest "
-     "row builds and refreshes the same oracle on both simulator "
-     "backends and asserts bit-identical served-table digests.",
-     lambda: [sweep_serving()]),
-    ("E23 -- columnar backend: bulk-synchronous rounds (infrastructure)",
-     "Single-source Bellman-Ford on random-weight side x side grids "
-     "(n = side^2, ~2n edges, wavefronts thousands of nodes wide) timed "
-     "on the fast backend and the columnar backend -- flat CSR/column "
-     "arrays and whole-round scatter-min updates instead of per-message "
-     "Envelope objects -- with every timed pair differentially "
-     "re-checked (distances, hops, parents, rounds, messages, words, "
-     "per-channel and per-node counters); *measured* is fast seconds / "
-     "columnar seconds (best of 3), one row per bulk implementation "
-     "(impl=numpy and the pure-Python fallback impl=python, selected "
-     "via REPRO_COLUMNAR_NUMPY).  The baseline is the fast backend -- "
-     "itself pinned to the reference -- so the gap is pure message-path "
-     "overhead, on top of E19's scheduler win.  Wall-clock numbers are "
-     "machine-dependent; CI gates the largest size at >= 2x "
-     "(benchmarks/bench_columnar.py), and the registry-parametrized "
-     "conformance suite (tests/backend_conformance.py) pins the "
-     "backend's observables bit-identical, numpy or not.",
-     lambda: [sweep_columnar()]),
-]
+DEFAULT_STORE = Path(__file__).parent / ".campaign"
 
 
-def _chart_for(experiment: str, rep) -> str:
-    """Figure-style ASCII charts for the scaling experiments."""
-    from repro.analysis import xy_chart
-
-    if experiment == "E2":
-        measured = [(m.params["n"], m.measured) for m in rep.rows]
-        bound = [(m.params["n"], m.bound) for m in rep.rows]
-        return xy_chart({"measured": measured, "bound": bound},
-                        title="rounds vs n (o = measured, x = bound)",
-                        xlabel="n", ylabel="rounds")
-    if experiment == "E10":
-        pipe = [(m.params["W"], m.measured) for m in rep.rows]
-        bf = [(m.params["W"], m.params["bf_rounds"]) for m in rep.rows]
-        return xy_chart({"pipelined": pipe, "bellman-ford": bf},
-                        title="crossover: rounds vs W on a path "
-                              "(o = pipelined, x = bellman-ford)",
-                        xlabel="W", ylabel="rounds")
-    return ""
-
-
-def main(out_path: str = "EXPERIMENTS.md",
-         refresh_reports: bool = False) -> None:
+def main(out_path: str = "EXPERIMENTS.md", *, refresh_reports: bool = False,
+         store_root: str = "", force: bool = False) -> None:
     t0 = time.time()
-    parts = [HEADER]
-    all_reports = []
-    for title, blurb, runner in SECTIONS:
-        print(f"running {title.split('--')[0].strip()} ...", flush=True)
-        parts.append(f"## {title}\n")
-        if blurb:
-            parts.append(blurb + "\n")
-        for rep in runner():
-            all_reports.append(rep)
-            ok = "all within bound" if rep.all_within_bound else "VIOLATIONS"
-            ratio = rep.max_ratio
-            summary = f"**{len(rep.rows)} measurements, {ok}**"
-            if ratio is not None:
-                summary += f", max ratio {ratio:.3f}"
-            parts.append(summary + "\n")
-            parts.append(render_markdown(rep) + "\n")
-            chart = _chart_for(rep.experiment, rep)
-            if chart:
-                parts.append("```\n" + chart + "\n```\n")
-    parts.append(f"_Generated in {time.time() - t0:.1f}s of simulation._\n")
-    Path(out_path).write_text("\n".join(parts))
+    spec = experiments_md_spec()
+    store = ResultStore(store_root or DEFAULT_STORE)
+    runner = CampaignRunner(spec, store, InlineTarget())
+
+    def progress(msg: str) -> None:
+        print(msg, flush=True)
+
+    result = runner.run(force=force, progress=progress)
+    print(result.summary())
+    text = render_experiments_md(result.reports, elapsed=time.time() - t0)
+    Path(out_path).write_text(text)
     print(f"wrote {out_path}")
     if refresh_reports:
         from repro.obs import write_last_run_reports
 
-        all_reports.sort(key=lambda r: r.experiment)
-        txt = write_last_run_reports(all_reports, Path(__file__).parent)
+        reports = sorted(result.reports, key=lambda r: r.experiment)
+        txt = write_last_run_reports(reports, Path(__file__).parent)
         print(f"wrote {txt} (and BENCH_last_run.json beside it)")
 
 
 if __name__ == "__main__":
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("out_path", nargs="?", default="EXPERIMENTS.md")
+    ap.add_argument("--store", default="",
+                    help="result store directory (default "
+                         "benchmarks/.campaign)")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="run every sweep fresh in a throwaway store")
+    ap.add_argument("--force", action="store_true",
+                    help="recompute every task into the persistent store")
     ap.add_argument("--refresh-reports", action="store_true",
                     help="also regenerate benchmarks/last_run_reports.txt "
                          "(via the repro.obs BenchStore)")
     ns = ap.parse_args()
-    main(ns.out_path, refresh_reports=ns.refresh_reports)
+    if ns.no_cache:
+        with tempfile.TemporaryDirectory() as tmp:
+            main(ns.out_path, refresh_reports=ns.refresh_reports,
+                 store_root=tmp, force=ns.force)
+    else:
+        main(ns.out_path, refresh_reports=ns.refresh_reports,
+             store_root=ns.store, force=ns.force)

@@ -1,0 +1,63 @@
+"""Campaign orchestration and memoized results warehouse.
+
+The layer that makes every future sweep cheap (modeled on
+MBradbury/slp's data pipeline): declarative :class:`CampaignSpec`\\ s
+(experiment x parameter grid x seeds x backend) expand into sweep
+tasks; a content-addressed :class:`ResultStore` memoizes each task's
+reports keyed on (sweep-function code digest, canonicalized params,
+seed, backend), so a re-run after an unrelated edit is a cache hit and
+an interrupted campaign resumes from its completed tasks; pluggable
+execution targets (:class:`InlineTarget`, the multiprocessing
+:class:`ProcessTarget` over :class:`~repro.perf.SweepExecutor`, and a
+:class:`DryRunTarget` for tests) run the misses; and the report layer
+renders EXPERIMENTS.md sections, BENCH rows, and regression diffs from
+the store.
+
+CLI: ``repro campaign run|status|report``.  Contract and invalidation
+rules: docs/CAMPAIGNS.md.
+"""
+
+from .runner import CampaignResult, CampaignRunner, CampaignStatus
+from .spec import CampaignSpec, CampaignTask, ExperimentGrid, expand
+from .store import ResultStore, canonical_params, code_digest
+from .targets import (
+    TARGETS,
+    DryRunTarget,
+    ExecutionTarget,
+    InlineTarget,
+    ProcessTarget,
+    make_target,
+)
+from .report import (
+    SECTIONS,
+    experiments_md_spec,
+    regression_diff,
+    render_campaign_report,
+    render_experiments_md,
+    save_bench,
+)
+
+__all__ = [
+    "SECTIONS",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CampaignStatus",
+    "CampaignTask",
+    "DryRunTarget",
+    "ExecutionTarget",
+    "ExperimentGrid",
+    "InlineTarget",
+    "ProcessTarget",
+    "ResultStore",
+    "TARGETS",
+    "canonical_params",
+    "code_digest",
+    "expand",
+    "experiments_md_spec",
+    "make_target",
+    "regression_diff",
+    "render_campaign_report",
+    "render_experiments_md",
+    "save_bench",
+]

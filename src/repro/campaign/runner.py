@@ -1,0 +1,166 @@
+"""Campaign execution: expand, check the store, run the misses, merge.
+
+The runner is deliberately thin glue with one load-bearing rule:
+**results always flow through the store codec**.  Even a task that just
+executed is read *back* from the :class:`ResultStore` before merging, so
+a fully-cached re-run and the run that populated the cache render the
+same bytes -- there is no "fresh object" path whose tuples or floats
+could differ from the decoded path.
+
+Resumption falls out of the store contract: the runner memoizes each
+task the moment its target reports it, so an interrupted campaign
+(worker crash, ^C, scripted :class:`DryRunTarget` failure) leaves every
+completed task cached, and the next run only executes the remainder --
+the merged reports are identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..analysis.records import ExperimentReport
+from ..perf.sweep_executor import merge_reports
+from .spec import CampaignSpec, CampaignTask, expand
+from .store import ResultStore
+from .targets import ExecutionTarget, InlineTarget
+
+
+@dataclass
+class CampaignStatus:
+    """Where a campaign stands against the store, without running it."""
+
+    name: str
+    total: int
+    done: int
+    #: experiment id -> (cached, total) task counts, in spec order.
+    per_experiment: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def pending(self) -> int:
+        return self.total - self.done
+
+    def render(self) -> str:
+        lines = [f"campaign {self.name}: {self.done}/{self.total} task(s) "
+                 f"cached, {self.pending} pending"]
+        for exp, (done, total) in self.per_experiment.items():
+            bar = "cached" if done == total else f"{done}/{total} cached"
+            lines.append(f"  {exp:5s} {bar}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CampaignResult:
+    """One finished campaign run: merged reports plus cache accounting."""
+
+    spec: CampaignSpec
+    reports: List[ExperimentReport]
+    hits: int
+    misses: int
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def all_hits(self) -> bool:
+        return self.misses == 0 and self.total > 0
+
+    def summary(self) -> str:
+        pct = 100.0 * self.hits / self.total if self.total else 0.0
+        return (f"campaign {self.spec.name}: {self.total} task(s), "
+                f"{self.hits} hits, misses: {self.misses} "
+                f"(cache hits: {pct:.0f}%)")
+
+
+class CampaignRunner:
+    """Drive one :class:`CampaignSpec` against a store and a target."""
+
+    def __init__(self, spec: CampaignSpec, store: ResultStore,
+                 target: Optional[ExecutionTarget] = None):
+        self.spec = spec
+        self.store = store
+        self.target = target if target is not None else InlineTarget()
+        self._plan: Optional[List[CampaignTask]] = None
+
+    def plan(self) -> List[CampaignTask]:
+        """The campaign's expanded task list (computed once)."""
+        if self._plan is None:
+            self._plan = expand(self.spec)
+        return self._plan
+
+    def status(self) -> CampaignStatus:
+        per_exp: Dict[str, Tuple[int, int]] = {}
+        done = 0
+        tasks = self.plan()
+        for ct in tasks:
+            cached = self.store.contains(ct.task, kind=self.target.kind)
+            done += cached
+            d, t = per_exp.get(ct.experiment, (0, 0))
+            per_exp[ct.experiment] = (d + cached, t + 1)
+        return CampaignStatus(self.spec.name, len(tasks), done, per_exp)
+
+    def run(self, *, force: bool = False,
+            progress: Optional[Callable[[str], None]] = None
+            ) -> CampaignResult:
+        """Execute the campaign; cache hits are never recomputed.
+
+        ``force=True`` treats every task as a miss (results overwrite
+        their entries).  ``progress`` receives one human line per event
+        (hits are reported in bulk, misses as they complete).  A target
+        failure propagates *after* every completed task has been stored.
+        """
+        tasks = self.plan()
+        note = progress or (lambda _msg: None)
+        kind = self.target.kind
+        if force:
+            miss_indices = list(range(len(tasks)))
+        else:
+            miss_indices = [i for i, ct in enumerate(tasks)
+                            if not self.store.contains(ct.task, kind=kind)]
+        hits = len(tasks) - len(miss_indices)
+        if hits:
+            note(f"{hits} task(s) already cached")
+        if miss_indices:
+            note(f"running {len(miss_indices)} task(s) on the "
+                 f"{type(self.target).__name__}")
+            pending = [tasks[i] for i in miss_indices]
+            for local_idx, reports in self.target.execute(pending):
+                ct = pending[local_idx]
+                self.store.put(ct.task, reports, kind=kind)
+                note(f"  done {ct.describe()}")
+        per_task = []
+        for ct in tasks:
+            reports = self.store.get(ct.task, kind=kind)
+            if reports is None:  # pragma: no cover - store vanished mid-run
+                raise RuntimeError(
+                    f"result store lost the entry for {ct.describe()} "
+                    f"between execution and merge")
+            per_task.append(reports)
+        return CampaignResult(self.spec, merge_reports(per_task),
+                              hits=hits, misses=len(miss_indices))
+
+    def collect(self) -> CampaignResult:
+        """Merge a fully-cached campaign without running anything.
+
+        Raises ``ValueError`` naming the missing tasks if any are not in
+        the store -- ``campaign report`` must never silently render a
+        partial campaign as if it were complete.
+        """
+        tasks = self.plan()
+        kind = self.target.kind
+        missing = [ct for ct in tasks
+                   if not self.store.contains(ct.task, kind=kind)]
+        if missing:
+            shown = ", ".join(ct.describe() for ct in missing[:3])
+            more = f" (+{len(missing) - 3} more)" if len(missing) > 3 else ""
+            raise ValueError(
+                f"campaign {self.spec.name!r} has {len(missing)} of "
+                f"{len(tasks)} task(s) not in the store: {shown}{more} -- "
+                f"run 'campaign run' first")
+        per_task = [self.store.get(ct.task, kind=kind) for ct in tasks]
+        return CampaignResult(self.spec, merge_reports(per_task),
+                              hits=len(tasks), misses=0)
+
+
+__all__ = ["CampaignResult", "CampaignRunner", "CampaignStatus"]

@@ -1,0 +1,218 @@
+"""Declarative campaign specifications.
+
+A :class:`CampaignSpec` names *what* to measure -- experiments, their
+parameter grids, seeds, and backends -- without saying *how* or *where*
+to run it.  :func:`expand` turns a spec into a deterministic, ordered
+list of :class:`CampaignTask`\\ s (each wrapping one picklable
+:class:`~repro.perf.sweep_executor.SweepTask`), which is the unit both
+the :class:`~repro.campaign.runner.CampaignRunner` executes and the
+:class:`~repro.campaign.store.ResultStore` memoizes.
+
+The expansion rules mirror the sweep executor's parallelization
+contract (:data:`~repro.perf.sweep_executor.EXPERIMENT_SWEEPS`):
+
+* the parameter ``grid`` axes are crossed in sorted-axis order, values
+  in listed order, so the task list -- and therefore the merged report
+  row order -- is independent of dict insertion order;
+* ``seeds`` of a seed-splittable sweep become one task per seed
+  (``seeds=(s,)``), which is exactly the executor's fan-out unit and
+  the store's finest cache granularity;
+* non-splittable sweeps (E6, E10, E15, the wall-clock timing sweeps)
+  keep their seeds in a single task, as a tuple kwarg.
+
+Specs are plain data and round-trip through JSON
+(:meth:`CampaignSpec.load` / :meth:`CampaignSpec.as_dict`), so a
+campaign is a reviewable committed file, not a script.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..perf.backends import _validated as _validated_backend
+from ..perf.sweep_executor import EXPERIMENT_SWEEPS, SweepTask
+
+
+def _tuplize(value: Any) -> Any:
+    """Lists (from JSON specs) become tuples so expanded kwargs match
+    what a Python caller passes the sweep functions by hand."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_tuplize(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class ExperimentGrid:
+    """One experiment's slice of a campaign.
+
+    ``params`` are fixed keyword arguments for the sweep function;
+    ``grid`` maps parameter names to value lists that are crossed into
+    one task group per combination; ``seeds`` fan out per-seed where the
+    sweep is seed-splittable.  ``backend`` overrides the campaign-wide
+    backend for this experiment only.
+    """
+
+    experiment: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    grid: Dict[str, Sequence[Any]] = field(default_factory=dict)
+    seeds: Optional[Tuple[int, ...]] = None
+    backend: Optional[str] = None
+
+    def __post_init__(self):
+        if self.experiment not in EXPERIMENT_SWEEPS:
+            raise KeyError(
+                f"unknown experiment {self.experiment!r}; known: "
+                f"{', '.join(sorted(EXPERIMENT_SWEEPS, key=lambda k: int(k[1:])))}")
+        if self.backend is not None:
+            _validated_backend(self.backend)
+        overlap = set(self.params) & set(self.grid)
+        if overlap:
+            raise ValueError(
+                f"{self.experiment}: parameters {sorted(overlap)} appear in "
+                f"both 'params' and 'grid' -- pick one")
+        for axis, values in self.grid.items():
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ValueError(
+                    f"{self.experiment}: grid axis {axis!r} must be a "
+                    f"non-empty list of values, got {values!r}")
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentGrid":
+        unknown = set(data) - {"experiment", "params", "grid", "seeds",
+                               "backend"}
+        if unknown:
+            raise ValueError(
+                f"unknown experiment-entry keys {sorted(unknown)} "
+                f"(allowed: experiment, params, grid, seeds, backend)")
+        if "experiment" not in data:
+            raise ValueError("experiment entry is missing 'experiment'")
+        seeds = data.get("seeds")
+        return cls(
+            experiment=data["experiment"],
+            params={k: _tuplize(v) for k, v in data.get("params", {}).items()},
+            grid={k: _tuplize(v) for k, v in data.get("grid", {}).items()},
+            seeds=None if seeds is None else tuple(int(s) for s in seeds),
+            backend=data.get("backend"))
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"experiment": self.experiment}
+        if self.params:
+            out["params"] = dict(self.params)
+        if self.grid:
+            out["grid"] = {k: list(v) for k, v in self.grid.items()}
+        if self.seeds is not None:
+            out["seeds"] = list(self.seeds)
+        if self.backend is not None:
+            out["backend"] = self.backend
+        return out
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named, ordered collection of :class:`ExperimentGrid` entries."""
+
+    name: str
+    experiments: Tuple[ExperimentGrid, ...]
+    backend: Optional[str] = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("campaign name must be non-empty")
+        if not self.experiments:
+            raise ValueError(f"campaign {self.name!r} has no experiments")
+        if self.backend is not None:
+            _validated_backend(self.backend)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        unknown = set(data) - {"name", "experiments", "backend"}
+        if unknown:
+            raise ValueError(
+                f"unknown campaign keys {sorted(unknown)} "
+                f"(allowed: name, experiments, backend)")
+        entries = data.get("experiments")
+        if not isinstance(entries, list):
+            raise ValueError("campaign 'experiments' must be a list")
+        return cls(
+            name=data.get("name", ""),
+            experiments=tuple(ExperimentGrid.from_dict(e) for e in entries),
+            backend=data.get("backend"))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CampaignSpec":
+        """Load a spec from a JSON file (see docs/CAMPAIGNS.md)."""
+        try:
+            data = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not valid JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise ValueError(f"{path}: campaign spec must be a JSON object")
+        return cls.from_dict(data)
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "experiments": [e.as_dict() for e in self.experiments],
+        }
+        if self.backend is not None:
+            out["backend"] = self.backend
+        return out
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One memoizable unit of campaign work.
+
+    ``task`` is the picklable sweep task the execution targets run;
+    ``seed`` is the split seed when the expansion fanned a seed axis out
+    (``None`` for single-task sweeps), kept for progress display only --
+    the cache key derives from ``task`` alone.
+    """
+
+    experiment: str
+    task: SweepTask
+    seed: Optional[int] = None
+
+    def describe(self) -> str:
+        kwargs = " ".join(f"{k}={v!r}" for k, v in sorted(self.task.kwargs.items()))
+        backend = f" backend={self.task.backend}" if self.task.backend else ""
+        return f"{self.experiment} {self.task.func}({kwargs}){backend}"
+
+
+def expand(spec: CampaignSpec) -> List[CampaignTask]:
+    """Expand a spec into its deterministic task list.
+
+    Task order is: experiments in spec order, grid combinations in
+    sorted-axis/listed-value order, seeds in listed order -- the same
+    order every run, so merged reports are reproducible and resumable
+    runs agree with fresh ones row for row.
+    """
+    tasks: List[CampaignTask] = []
+    for entry in spec.experiments:
+        sweep = EXPERIMENT_SWEEPS[entry.experiment]
+        backend = entry.backend if entry.backend is not None else spec.backend
+        axes = sorted(entry.grid)
+        combos = [dict(zip(axes, values)) for values in
+                  itertools.product(*(entry.grid[a] for a in axes))] or [{}]
+        for combo in combos:
+            kwargs = {**entry.params, **combo}
+            if entry.seeds is not None and sweep.seed_splittable:
+                for s in entry.seeds:
+                    tasks.append(CampaignTask(
+                        entry.experiment,
+                        SweepTask(sweep.func, {**kwargs, "seeds": (s,)},
+                                  backend),
+                        seed=s))
+            else:
+                if entry.seeds is not None:
+                    kwargs = {**kwargs, "seeds": tuple(entry.seeds)}
+                tasks.append(CampaignTask(
+                    entry.experiment, SweepTask(sweep.func, kwargs, backend)))
+    return tasks
+
+
+__all__ = ["CampaignSpec", "CampaignTask", "ExperimentGrid", "expand"]

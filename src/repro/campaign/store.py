@@ -1,0 +1,188 @@
+"""Content-addressed memoization of sweep task results.
+
+Every experiment sweep in this repo is deterministic given its keyword
+arguments (wall-clock columns aside), so a task's result is a pure
+function of *which code* ran with *which parameters* on *which backend*.
+The :class:`ResultStore` keys each task's reports on exactly that:
+
+``key = sha256(func ref, code digest, canonical params, backend)``
+
+* **code digest** -- sha256 of the sweep function's own source text
+  (:func:`code_digest`).  Editing one sweep function invalidates only
+  that experiment's cached tasks; an unrelated edit elsewhere (another
+  sweep, the docs, the CLI) leaves every key intact, so a re-run after
+  it is a pure cache hit.  The digest deliberately does *not* chase the
+  functions a sweep calls into -- see docs/CAMPAIGNS.md for the
+  invalidation contract and the ``force`` escape hatch.
+* **canonical params** -- the kwargs bound against the sweep's
+  signature with defaults applied (:func:`canonical_params`), so
+  ``sweep()``, ``sweep(seeds=(0, 1))`` and the JSON-spec spelling of
+  the same call all share one key, and tuples/lists serialize alike.
+* **seed and backend** -- the seed rides inside the canonical params
+  (seed-split tasks carry ``seeds=(s,)``); the backend is its own key
+  component because backend choice is part of what was measured.
+
+Entries are one JSON file per key under ``<root>/<key[:2]>/<key>.json``
+(content-addressed: the name *is* the key, so an interrupted campaign
+resumes by existence checks alone), written atomically via the same
+temp+\\ ``os.replace`` discipline as the BENCH store.  Reports round-trip
+through the store codec; the runner reads results *back* from the store
+even on a miss, so a cache-hit re-run renders byte-identically to the
+run that populated it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..analysis.records import ExperimentReport, Measurement
+from ..obs.store import _from_jsonable, _jsonable, atomic_write_text
+from ..perf.sweep_executor import SweepTask
+
+#: Bump when the entry layout changes; unknown formats are a load error,
+#: never a silent misread.
+STORE_FORMAT = 1
+
+
+def code_digest(func_ref: str) -> str:
+    """sha256 over the sweep function's own source text.
+
+    Function-level (not module-level) on purpose: editing one sweep in a
+    shared module must not invalidate its siblings' cached results.
+    Uncached so a reloaded module is re-read (``inspect`` consults
+    ``linecache`` with an mtime check).
+    """
+    fn = SweepTask(func_ref).resolve()
+    try:
+        source = inspect.getsource(fn)
+    except (OSError, TypeError) as exc:
+        raise ValueError(
+            f"cannot digest source of {func_ref!r}: {exc} -- memoization "
+            f"needs the sweep function's source to key on") from None
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+def canonical_params(func_ref: str, kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    """Kwargs bound against the sweep's signature, defaults applied.
+
+    Raises ``ValueError`` (not ``TypeError``) on kwargs the sweep does
+    not accept, so a typo'd spec fails at planning time with the CLI's
+    clean-error handling, not inside a worker.
+    """
+    fn = SweepTask(func_ref).resolve()
+    try:
+        bound = inspect.signature(fn).bind_partial(**kwargs)
+    except TypeError as exc:
+        raise ValueError(f"{func_ref}: {exc}") from None
+    bound.apply_defaults()
+    return dict(bound.arguments)
+
+
+class ResultStore:
+    """Filesystem store memoizing each sweep task's report list."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # -- keys ------------------------------------------------------------
+
+    def key_for(self, task: SweepTask) -> str:
+        """The task's content-addressed cache key (hex sha256)."""
+        material = json.dumps({
+            "func": task.func,
+            "code": code_digest(task.func),
+            "params": _jsonable(canonical_params(task.func, task.kwargs)),
+            "backend": task.backend,
+        }, sort_keys=True)
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- entries ---------------------------------------------------------
+
+    def contains(self, task: SweepTask, *, kind: str = "real") -> bool:
+        return self.get(task, kind=kind) is not None
+
+    def get(self, task: SweepTask, *,
+            kind: str = "real") -> Optional[List[ExperimentReport]]:
+        """The memoized reports for *task*, or ``None`` on a miss.
+
+        ``kind`` is the execution fidelity that produced the entry
+        (``"real"`` sweeps vs ``"dry-run"`` placeholders): a dry-run
+        entry is a miss for a real run and vice versa, so rehearsing a
+        campaign with the dummy target can never poison real results.
+        A corrupt or foreign-format entry is also a miss -- recomputing
+        is always safe, trusting half a file never is.
+        """
+        path = self.path_for(self.key_for(task))
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if data.get("format") != STORE_FORMAT or data.get("kind") != kind:
+            return None
+        return _decode_reports(data["reports"])
+
+    def put(self, task: SweepTask, reports: List[ExperimentReport], *,
+            kind: str = "real") -> str:
+        """Persist *reports* under the task's key; returns the key."""
+        key = self.key_for(task)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": STORE_FORMAT,
+            "key": key,
+            "kind": kind,
+            "func": task.func,
+            "kwargs": _jsonable(task.kwargs),
+            "backend": task.backend,
+            "reports": _encode_reports(reports),
+        }
+        # NOT sort_keys: row params must round-trip in insertion order --
+        # it is the column order of every rendered table.  (The cache
+        # *key* in key_for is sorted; the payload must not be.)
+        atomic_write_text(path, json.dumps(entry) + "\n")
+        return key
+
+    # -- maintenance -----------------------------------------------------
+
+    def keys(self) -> List[str]:
+        """Every stored key (sorted), regardless of kind."""
+        return sorted(p.stem for p in self.root.glob("??/*.json"))
+
+    def size(self) -> int:
+        return len(self.keys())
+
+
+def _encode_reports(reports: List[ExperimentReport]) -> List[Dict[str, Any]]:
+    return [{
+        "experiment": rep.experiment,
+        "description": rep.description,
+        "rows": [{
+            "params": _jsonable(m.params),
+            "measured": _jsonable(m.measured),
+            "bound": _jsonable(m.bound),
+            "extra": _jsonable(m.extra),
+        } for m in rep.rows],
+    } for rep in reports]
+
+
+def _decode_reports(data: List[Dict[str, Any]]) -> List[ExperimentReport]:
+    reports = []
+    for rep in data:
+        out = ExperimentReport(rep["experiment"], rep["description"])
+        for row in rep["rows"]:
+            out.rows.append(Measurement(
+                rep["experiment"], _from_jsonable(row["params"]),
+                _from_jsonable(row["measured"]), _from_jsonable(row["bound"]),
+                _from_jsonable(row["extra"])))
+        reports.append(out)
+    return reports
+
+
+__all__ = ["ResultStore", "STORE_FORMAT", "canonical_params", "code_digest"]

@@ -1,0 +1,141 @@
+"""Pluggable campaign execution targets.
+
+A target answers one question -- *where do the cache misses run?* -- and
+streams ``(index, reports)`` back in completion order so the runner can
+memoize each task the moment it finishes.  That streaming contract is
+what makes campaigns resumable: when task 40 of 100 dies, tasks 0-39 are
+already in the :class:`~repro.campaign.store.ResultStore` and the next
+run only owes the remainder.
+
+Three targets ship (modeled on MBradbury/slp's cluster adapters --
+local, dummy, and the real thing):
+
+* :class:`InlineTarget` -- in-process, sequential; the reference
+  semantics and the fallback anywhere multiprocessing is unavailable.
+* :class:`ProcessTarget` -- fans chunks of tasks across worker
+  processes via :class:`~repro.perf.sweep_executor.SweepExecutor`
+  (inheriting its bit-identical merge order and its cancel-on-failure
+  abort); results land in the store chunk by chunk.
+* :class:`DryRunTarget` -- runs nothing: emits deterministic placeholder
+  reports derived from each task's identity, with an optional scripted
+  failure point (``fail_after``) so tests can kill a campaign mid-run
+  reproducibly.  Its results are stored under a separate cache *kind*
+  and can never shadow real measurements.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Iterator, List, Sequence, Tuple
+
+from ..analysis.records import ExperimentReport
+from ..obs.store import _jsonable
+from ..perf.sweep_executor import SweepExecutor, SweepWorkerError, _run_task
+from .spec import CampaignTask
+
+TargetResult = Iterator[Tuple[int, List[ExperimentReport]]]
+
+
+class ExecutionTarget:
+    """Base contract: ``execute`` yields ``(task index, reports)`` as
+    tasks complete; ``kind`` names the cache fidelity of the results."""
+
+    kind = "real"
+
+    def execute(self, tasks: Sequence[CampaignTask]) -> TargetResult:
+        raise NotImplementedError
+
+
+class InlineTarget(ExecutionTarget):
+    """Run each task in-process, in order."""
+
+    def execute(self, tasks: Sequence[CampaignTask]) -> TargetResult:
+        for i, ct in enumerate(tasks):
+            yield i, _run_task(ct.task)
+
+
+class ProcessTarget(ExecutionTarget):
+    """Fan tasks across worker processes, a chunk at a time.
+
+    Chunking (``4 * jobs`` tasks per :class:`SweepExecutor` batch)
+    bounds how much completed work an interrupting failure can lose
+    before it reaches the store, while still keeping every worker busy
+    within a batch.
+    """
+
+    def __init__(self, jobs: int = 2):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def execute(self, tasks: Sequence[CampaignTask]) -> TargetResult:
+        executor = SweepExecutor(self.jobs)
+        chunk = max(1, 4 * self.jobs)
+        for base in range(0, len(tasks), chunk):
+            block = [ct.task for ct in tasks[base:base + chunk]]
+            for offset, reports in enumerate(executor.run_tasks(block)):
+                yield base + offset, reports
+
+
+class DryRunTarget(ExecutionTarget):
+    """Execute nothing; emit deterministic placeholder reports.
+
+    Each placeholder carries one row whose ``measured`` value is derived
+    from the task's identity, so two dry runs of the same spec produce
+    byte-identical results -- which is exactly what the resumability
+    tests need.  ``fail_after=n`` raises after *n* tasks have executed
+    (counted across the target's lifetime), simulating a mid-campaign
+    kill at a scripted, reproducible point.
+    """
+
+    kind = "dry-run"
+
+    def __init__(self, fail_after: int = -1):
+        self.fail_after = fail_after
+        self.executed = 0
+
+    def execute(self, tasks: Sequence[CampaignTask]) -> TargetResult:
+        for i, ct in enumerate(tasks):
+            if self.executed == self.fail_after:
+                raise SweepWorkerError(
+                    f"dry-run target killed after {self.executed} task(s), "
+                    f"before {ct.describe()}")
+            self.executed += 1
+            identity = json.dumps(
+                {"func": ct.task.func, "kwargs": _jsonable(ct.task.kwargs),
+                 "backend": ct.task.backend}, sort_keys=True)
+            measured = int(hashlib.sha256(identity.encode()).hexdigest()[:8],
+                           16) % 10_000
+            rep = ExperimentReport(
+                ct.experiment, f"dry-run placeholder for {ct.task.func}")
+            rep.add({"seed": ct.seed, "task": ct.task.func},
+                    measured=float(measured))
+            yield i, [rep]
+
+
+#: Target name -> zero-config factory, as exposed on the CLI
+#: (``campaign run --target ...``).  ``process`` takes its job count
+#: from ``--jobs`` and is special-cased there.
+TARGETS = {
+    "inline": InlineTarget,
+    "process": ProcessTarget,
+    "dry-run": DryRunTarget,
+}
+
+
+def make_target(name: str, *, jobs: int = 2) -> ExecutionTarget:
+    """Build a target by CLI name; ``jobs`` applies to ``process``."""
+    if name not in TARGETS:
+        raise ValueError(
+            f"unknown execution target {name!r}; available: "
+            f"{sorted(TARGETS)}")
+    if name == "process":
+        return ProcessTarget(jobs)
+    return TARGETS[name]()
+
+
+__all__ = [
+    "DryRunTarget", "ExecutionTarget", "InlineTarget", "ProcessTarget",
+    "TARGETS", "make_target",
+]

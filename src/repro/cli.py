@@ -35,7 +35,14 @@ Commands operate on graph files in the plain-text format of
   ASCII dashboard (optionally exporting the trace as JSONL), ``obs
   bench`` persists a benchmark suite into the ``BENCH_*.json`` store
   and can fail on regression vs a stored baseline, ``obs diff``
-  compares two stored records.
+  compares two stored records;
+* ``campaign`` -- the orchestration layer (:mod:`repro.campaign`):
+  ``campaign run`` executes a declarative JSON campaign spec through
+  the content-addressed result store (completed tasks are cache hits;
+  an interrupted campaign resumes where it stopped), ``campaign
+  status`` shows cached-vs-pending tasks without running anything,
+  ``campaign report`` renders markdown tables from the store and can
+  diff against a BENCH baseline.
 
 Simulation commands accept ``--backend`` (any registered name:
 ``reference``, ``fast``, ``columnar``) to pick the CONGEST simulator
@@ -652,6 +659,56 @@ def cmd_obs(args, out) -> int:
     raise SystemExit(f"unknown obs subcommand {args.obs_command!r}")
 
 
+def cmd_campaign(args, out) -> int:
+    import dataclasses
+
+    from .campaign import (CampaignRunner, CampaignSpec, ResultStore,
+                           make_target, regression_diff,
+                           render_campaign_report, save_bench)
+
+    spec = CampaignSpec.load(args.spec)
+    if getattr(args, "backend", None):
+        spec = dataclasses.replace(spec, backend=args.backend)
+    store = ResultStore(args.store)
+
+    if args.campaign_command == "status":
+        runner = CampaignRunner(spec, store,
+                                make_target(args.target, jobs=1))
+        out.write(runner.status().render() + "\n")
+        return 0
+
+    if args.campaign_command == "run":
+        target = make_target(args.target, jobs=args.jobs)
+        runner = CampaignRunner(spec, store, target)
+        result = runner.run(force=args.force,
+                            progress=lambda msg: out.write(msg + "\n"))
+        out.write(result.summary() + "\n")
+    elif args.campaign_command == "report":
+        runner = CampaignRunner(spec, store,
+                                make_target(args.target, jobs=1))
+        result = runner.collect()
+    else:
+        raise SystemExit(
+            f"unknown campaign subcommand {args.campaign_command!r}")
+
+    text = render_campaign_report(result)
+    if getattr(args, "report", None):
+        from pathlib import Path
+        Path(args.report).write_text(text)
+        out.write(f"wrote {args.report}\n")
+    elif args.campaign_command == "report":
+        out.write(text)
+    if getattr(args, "bench_name", None):
+        path = save_bench(result, args.bench_store, args.bench_name)
+        out.write(f"wrote {path}\n")
+    if getattr(args, "baseline", None):
+        rep = regression_diff(result, args.baseline, args.bench_store,
+                              tolerance=args.tolerance)
+        out.write(rep.render() + "\n")
+        return rep.exit_code
+    return 0
+
+
 def cmd_bounds(args, out) -> int:
     n, k, h = args.n, args.k if args.k else args.n, args.hops if args.hops else args.n
     delta, w = args.delta, args.w_max
@@ -920,6 +977,67 @@ def build_parser() -> argparse.ArgumentParser:
     odiff.add_argument("--store", default="benchmarks")
     odiff.add_argument("--tolerance", type=float, default=0.1)
     odiff.set_defaults(func=cmd_obs)
+
+    c = sub.add_parser(
+        "campaign",
+        help="memoized sweep campaigns over the content-addressed "
+             "result store")
+    csub = c.add_subparsers(dest="campaign_command", required=True)
+
+    def _campaign_common(parser, *, with_target=True):
+        parser.add_argument("--spec", required=True,
+                            help="campaign spec JSON file "
+                                 "(see docs/CAMPAIGNS.md)")
+        parser.add_argument("--store", default="benchmarks/.campaign",
+                            help="result store directory (default "
+                                 "benchmarks/.campaign)")
+        if with_target:
+            parser.add_argument("--target", default="inline",
+                                choices=["inline", "process", "dry-run"],
+                                help="execution target for cache misses "
+                                     "(default inline)")
+
+    crun = csub.add_parser(
+        "run", help="run a campaign; completed tasks are cache hits")
+    _campaign_common(crun)
+    crun.add_argument("--jobs", type=int, default=2, metavar="N",
+                      help="worker processes for --target process")
+    crun.add_argument("--force", action="store_true",
+                      help="recompute every task, overwriting cached "
+                           "entries")
+    crun.add_argument("--report", metavar="PATH",
+                      help="write the rendered markdown report here")
+    crun.add_argument("--bench-name", metavar="NAME",
+                      help="also persist the merged rows as "
+                           "BENCH_<NAME>.json")
+    crun.add_argument("--bench-store", default="benchmarks",
+                      help="BENCH store directory for --bench-name/"
+                           "--baseline (default benchmarks)")
+    crun.add_argument("--baseline", metavar="NAME",
+                      help="stored BENCH record to diff against; a "
+                           "regression makes the exit code non-zero")
+    crun.add_argument("--tolerance", type=float, default=0.1)
+    _add_backend_flag(crun)
+    crun.set_defaults(func=cmd_campaign)
+
+    cst = csub.add_parser(
+        "status", help="cached vs pending tasks, without running")
+    _campaign_common(cst)
+    cst.set_defaults(func=cmd_campaign, backend=None)
+
+    crep = csub.add_parser(
+        "report", help="render a fully-cached campaign from the store")
+    _campaign_common(crep)
+    crep.add_argument("--report", metavar="PATH",
+                      help="write the markdown here instead of stdout")
+    crep.add_argument("--bench-name", metavar="NAME",
+                      help="also persist the merged rows as "
+                           "BENCH_<NAME>.json")
+    crep.add_argument("--bench-store", default="benchmarks")
+    crep.add_argument("--baseline", metavar="NAME",
+                      help="stored BENCH record to diff against")
+    crep.add_argument("--tolerance", type=float, default=0.1)
+    crep.set_defaults(func=cmd_campaign, backend=None)
 
     b = sub.add_parser("bounds", help="evaluate the paper's bound formulas")
     b.add_argument("-n", type=int, required=True)

@@ -28,6 +28,7 @@ a sweep must not fail CI, removing one is visible in review.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -35,6 +36,28 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from ..analysis.records import ExperimentReport, Measurement
 
 INF = float("inf")
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write *text* to *path* atomically: full content to a same-directory
+    temp file, then ``os.replace``.
+
+    A reader (a concurrent tolerance compare, a later CI step after an
+    interrupted run) therefore observes either the previous complete file
+    or the new complete file -- never a truncated one.  The temp name
+    embeds the pid so two writers cannot trample each other's staging
+    file; the losing ``os.replace`` simply installs its complete version
+    second.
+    """
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        # Only reached with tmp still present when write_text/replace
+        # failed; never leave staging litter behind.
+        if tmp.exists():
+            tmp.unlink()
 
 
 def _jsonable(value: Any) -> Any:
@@ -254,8 +277,11 @@ class BenchStore:
     def save_record(self, record: BenchRecord) -> Path:
         path = self.path_for(record.name)
         self.root.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(record.as_dict(), sort_keys=True,
-                                   indent=1) + "\n")
+        # Atomic temp+replace: an interrupted ``obs bench`` / CI bench
+        # run must never leave a truncated BENCH_*.json that breaks
+        # every later tolerance compare.
+        atomic_write_text(path, json.dumps(record.as_dict(), sort_keys=True,
+                                           indent=1) + "\n")
         return path
 
     def load(self, name: str) -> BenchRecord:
@@ -328,5 +354,5 @@ def write_last_run_reports(reports: Sequence[ExperimentReport],
     store.save(record_name, reports, created=created)
     text = render_record_reports(store.load(record_name))
     out = Path(store_root) / "last_run_reports.txt"
-    out.write_text(text)
+    atomic_write_text(out, text)
     return out

@@ -39,7 +39,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
-from .backends import use_backend
+from .backends import _validated as _validated_backend, use_backend
 
 if TYPE_CHECKING:  # runtime import is lazy: repro.analysis pulls in
     from ..analysis.records import ExperimentReport  # repro.core, which
@@ -64,11 +64,22 @@ class SweepTask:
     worker -- functions themselves do not pickle portably), ``kwargs``
     its keyword arguments, ``backend`` an optional simulator backend to
     make ambient while the task runs.
+
+    ``backend`` is validated at construction against the
+    :data:`~repro.perf.backends.BACKENDS` registry (same error text as
+    an explicit ``make_network(backend=...)`` request): an unknown -- or
+    empty-string -- backend must fail here, loudly, rather than slip
+    through an ``or``-default later and silently run on whatever the
+    executor's default happens to be.
     """
 
     func: str
     kwargs: Dict[str, Any] = field(default_factory=dict)
     backend: Optional[str] = None
+
+    def __post_init__(self):
+        if self.backend is not None:
+            _validated_backend(self.backend)
 
     def resolve(self):
         mod_name, _, fn_name = self.func.partition(":")
@@ -110,6 +121,11 @@ def merge_reports(per_task: Sequence[Sequence[ExperimentReport]]
     Reports are grouped by experiment id in first-seen order and their
     rows concatenated in task order.  For seed-split tasks of a
     seed-major sweep this reproduces the sequential row order exactly.
+
+    Two tasks reporting the same experiment id with *different*
+    descriptions is a merge of unrelated sweeps (or of two versions of
+    one sweep): silently keeping the first-seen description would file
+    the second task's rows under the wrong header, so it raises instead.
     """
     from ..analysis.records import ExperimentReport
 
@@ -120,6 +136,12 @@ def merge_reports(per_task: Sequence[Sequence[ExperimentReport]]
             if into is None:
                 merged[rep.experiment] = ExperimentReport(
                     rep.experiment, rep.description, list(rep.rows))
+            elif into.description != rep.description:
+                raise ValueError(
+                    f"cannot merge reports for experiment "
+                    f"{rep.experiment!r}: conflicting descriptions "
+                    f"{into.description!r} vs {rep.description!r} -- the "
+                    f"tasks are not slices of the same sweep")
             else:
                 into.rows.extend(rep.rows)
     return list(merged.values())
@@ -137,6 +159,8 @@ class SweepExecutor:
     def __init__(self, jobs: int = 1, *, backend: Optional[str] = None):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if backend is not None:
+            _validated_backend(backend)
         self.jobs = jobs
         self.backend = backend
 
@@ -168,20 +192,30 @@ class SweepExecutor:
         with ProcessPoolExecutor(max_workers=min(self.jobs, len(tasks)),
                                  mp_context=ctx) as pool:
             futures = [pool.submit(_worker, t) for t in tasks]
-            for task, fut in zip(tasks, futures):
-                try:
-                    status, payload = fut.result()
-                except BrokenProcessPool as exc:
-                    raise SweepWorkerError(
-                        f"sweep worker died without reporting while "
-                        f"running {task.func} {task.kwargs!r}: {exc} "
-                        f"(killed process or crashed interpreter; re-run "
-                        f"with jobs=1 to debug inline)") from exc
-                if status == "error":
-                    raise SweepWorkerError(
-                        f"sweep task {task.func} {task.kwargs!r} failed "
-                        f"in worker:\n{payload}")
-                results.append(payload)
+            try:
+                for task, fut in zip(tasks, futures):
+                    try:
+                        status, payload = fut.result()
+                    except BrokenProcessPool as exc:
+                        raise SweepWorkerError(
+                            f"sweep worker died without reporting while "
+                            f"running {task.func} {task.kwargs!r}: {exc} "
+                            f"(killed process or crashed interpreter; re-run "
+                            f"with jobs=1 to debug inline)") from exc
+                    if status == "error":
+                        raise SweepWorkerError(
+                            f"sweep task {task.func} {task.kwargs!r} failed "
+                            f"in worker:\n{payload}")
+                    results.append(payload)
+            except BaseException:
+                # First failure aborts the whole run: cancel every
+                # not-yet-started future so the pool's context exit only
+                # waits for tasks already executing, not for the entire
+                # submitted backlog (a failed 100-task campaign must
+                # abort promptly, not after 99 more sweeps).
+                for fut in futures:
+                    fut.cancel()
+                raise
         return results
 
     def run(self, tasks: Sequence[SweepTask]) -> List[ExperimentReport]:

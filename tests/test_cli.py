@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -319,3 +320,92 @@ class TestServeCommand:
         rc = main(["serve", "bench", graph_file, "--shards", "99"])
         assert rc == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestCampaignCommand:
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "name": "clitest",
+            "experiments": [
+                {"experiment": "E2", "params": {"sizes": [8]},
+                 "seeds": [0, 1]},
+            ],
+        }))
+        return str(path)
+
+    def test_run_then_rerun_is_all_hits(self, spec_file, tmp_path):
+        store = str(tmp_path / "store")
+        rc, out = run_cli("campaign", "run", "--spec", spec_file,
+                          "--store", store, "--target", "inline")
+        assert rc == 0
+        assert "misses: 2" in out
+        rc, out = run_cli("campaign", "run", "--spec", spec_file,
+                          "--store", store, "--target", "inline")
+        assert rc == 0
+        assert "misses: 0" in out and "cache hits: 100%" in out
+
+    def test_status_before_and_after(self, spec_file, tmp_path):
+        store = str(tmp_path / "store")
+        rc, out = run_cli("campaign", "status", "--spec", spec_file,
+                          "--store", store)
+        assert rc == 0 and "0/2 task(s) cached, 2 pending" in out
+        run_cli("campaign", "run", "--spec", spec_file, "--store", store)
+        rc, out = run_cli("campaign", "status", "--spec", spec_file,
+                          "--store", store)
+        assert rc == 0 and "2/2 task(s) cached, 0 pending" in out
+
+    def test_report_requires_a_complete_run(self, spec_file, tmp_path,
+                                            capsys):
+        store = str(tmp_path / "store")
+        rc, out = run_cli("campaign", "report", "--spec", spec_file,
+                          "--store", store)
+        assert rc == 2
+        assert "run 'campaign run' first" in capsys.readouterr().err
+        run_cli("campaign", "run", "--spec", spec_file, "--store", store)
+        rc, out = run_cli("campaign", "report", "--spec", spec_file,
+                          "--store", store)
+        assert rc == 0
+        assert "# Campaign report: clitest" in out and "## E2" in out
+
+    def test_report_files_identical_across_cached_runs(
+            self, spec_file, tmp_path):
+        store = str(tmp_path / "store")
+        r1, r2 = tmp_path / "r1.md", tmp_path / "r2.md"
+        rc, _ = run_cli("campaign", "run", "--spec", spec_file,
+                        "--store", store, "--report", str(r1))
+        assert rc == 0
+        rc, _ = run_cli("campaign", "run", "--spec", spec_file,
+                        "--store", store, "--report", str(r2))
+        assert rc == 0
+        assert r1.read_bytes() == r2.read_bytes()
+
+    def test_dry_run_target_never_pollutes_real_cache(
+            self, spec_file, tmp_path):
+        store = str(tmp_path / "store")
+        rc, _ = run_cli("campaign", "run", "--spec", spec_file,
+                        "--store", store, "--target", "dry-run")
+        assert rc == 0
+        rc, out = run_cli("campaign", "status", "--spec", spec_file,
+                          "--store", store)  # default target: real kind
+        assert rc == 0 and "0/2 task(s) cached" in out
+
+    def test_bad_spec_is_a_user_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "x", "experiments": [
+            {"experiment": "E2", "backend": ""}]}))
+        rc, out = run_cli("campaign", "run", "--spec", str(bad),
+                          "--store", str(tmp_path / "s"))
+        assert rc == 2
+        assert "unknown simulator backend ''" in capsys.readouterr().err
+
+    def test_committed_smoke_spec_loads(self):
+        from pathlib import Path
+
+        from repro.campaign import CampaignSpec, expand
+        spec = CampaignSpec.load(
+            Path(__file__).parent.parent / "benchmarks" / "campaigns"
+            / "smoke.json")
+        assert spec.name == "ci-smoke"
+        assert len(expand(spec)) == 3

@@ -57,6 +57,7 @@ class TestDocFilesExist:
         "README.md", "DESIGN.md", "EXPERIMENTS.md", "NOTATION.md",
         "docs/TUTORIAL.md", "docs/ALGORITHM.md", "docs/OBSERVABILITY.md",
         "docs/PERFORMANCE.md", "docs/RECOVERY.md", "docs/SERVING.md",
+        "docs/CAMPAIGNS.md",
     ])
     def test_present_and_nonempty(self, name):
         path = ROOT / name

@@ -122,3 +122,48 @@ class TestLastRunReports:
         # the text is *derived from the stored record*: one rendering path
         assert out.read_text() == render_record_reports(store.load("last_run"))
         assert "E1" in out.read_text() and "E2" in out.read_text()
+
+
+class TestAtomicWrites:
+    def test_interrupted_save_never_corrupts_existing_record(
+            self, tmp_path, monkeypatch):
+        """A save that dies mid-write (here: os.replace refused) leaves
+        the previous BENCH_*.json bytes untouched and no temp litter --
+        a killed benchmark run must never truncate the record a later
+        ``repro bench --baseline`` diff depends on."""
+        import repro.obs.store as store_mod
+
+        store = BenchStore(tmp_path)
+        good = store.save("run", make_reports(), created="pinned")
+        before = good.read_bytes()
+
+        def refuse(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(store_mod.os, "replace", refuse)
+        with pytest.raises(OSError, match="disk full"):
+            store.save("run", make_reports(rounds_e2=99), created="pinned")
+        monkeypatch.undo()
+        assert good.read_bytes() == before          # old record intact
+        assert store.load("run").rows               # and still parseable
+        assert not list(tmp_path.glob("*.tmp*"))    # temp file cleaned up
+
+    def test_half_written_temp_file_is_invisible(self, tmp_path):
+        """A temp file left by a killed writer (no cleanup ran) is not a
+        record: names() skips it and load() never sees it."""
+        store = BenchStore(tmp_path)
+        store.save("real", make_reports())
+        (tmp_path / "BENCH_ghost.json.tmp4242").write_text('{"name": "gho')
+        assert store.names() == ["real"]
+        assert not store.exists("ghost")
+        with pytest.raises(FileNotFoundError):
+            store.load("ghost")
+
+    def test_atomic_write_text_replaces_in_one_step(self, tmp_path):
+        from repro.obs.store import atomic_write_text
+
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+        assert list(tmp_path.iterdir()) == [target]

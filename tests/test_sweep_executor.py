@@ -141,3 +141,91 @@ class TestMergeReports:
         assert [m.params["i"] for m in merged[0].rows] == [0, 1]
         # merging copies rows; the input reports are untouched
         assert len(a1.rows) == 1
+
+    def test_conflicting_descriptions_raise(self):
+        """Same experiment id + different description = two unrelated
+        sweeps (or two versions of one); merging them would file rows
+        under the wrong header, so it must raise, naming both."""
+        from repro.analysis.records import ExperimentReport
+
+        v1 = ExperimentReport("A", "old wording")
+        v1.add({"i": 0}, measured=1.0)
+        v2 = ExperimentReport("A", "new wording")
+        v2.add({"i": 1}, measured=2.0)
+        with pytest.raises(ValueError) as exc:
+            merge_reports([[v1], [v2]])
+        msg = str(exc.value)
+        assert "'old wording'" in msg and "'new wording'" in msg
+        assert "'A'" in msg
+
+
+class TestBackendValidation:
+    def test_task_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown simulator backend"):
+            SweepTask("repro.analysis.sweep:sweep_theorem11_apsp",
+                      backend="nope")
+
+    def test_task_rejects_empty_backend(self):
+        """The '' fall-through: ``t.backend or self.backend`` treats an
+        empty string as "use the executor default", silently running on
+        the wrong backend.  Reject it at construction instead, with the
+        same error text the backend registry uses."""
+        with pytest.raises(ValueError, match="unknown simulator backend ''"):
+            SweepTask("repro.analysis.sweep:sweep_theorem11_apsp",
+                      backend="")
+
+    def test_executor_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown simulator backend"):
+            SweepExecutor(jobs=1, backend="")
+
+    def test_none_backend_still_defaults(self):
+        assert SweepTask("repro.analysis.sweep:sweep_theorem11_apsp").backend is None
+
+
+def _sleep_report(delay=2.0):  # module-level: importable by workers
+    import time as _time
+    from repro.analysis.records import ExperimentReport
+
+    _time.sleep(delay)
+    rep = ExperimentReport("SLOW", "sleeper")
+    rep.add({"delay": delay}, measured=delay)
+    return rep
+
+
+def _touch_marker(path=""):
+    from repro.analysis.records import ExperimentReport
+
+    import pathlib
+    pathlib.Path(path).write_text("ran")
+    rep = ExperimentReport("MARK", "marker")
+    rep.add({"path": path}, measured=0.0)
+    return rep
+
+
+class TestCancelOnFailure:
+    def test_pending_tasks_cancelled_after_failure(self, tmp_path):
+        """A failing task must abort the whole batch: the failure
+        surfaces while sleepers pin both workers, so the queued marker
+        tasks behind them are cancelled rather than executed.  The pool
+        pre-buffers up to ``max_workers + 1`` items to its call queue
+        (CPython's EXTRA_QUEUED_CALLS) and those can no longer be
+        cancelled, so a small fixed prefix of markers may still run --
+        but never the backlog.  Without cancellation every marker runs
+        (shutdown(wait=True) drains the whole queue)."""
+        markers = [tmp_path / f"marker{i}.txt" for i in range(8)]
+        tasks = [SweepTask("test_sweep_executor:_boom"),
+                 SweepTask("test_sweep_executor:_sleep_report",
+                           {"delay": 2.0}),
+                 SweepTask("test_sweep_executor:_sleep_report",
+                           {"delay": 2.1})]
+        tasks += [SweepTask("test_sweep_executor:_touch_marker",
+                            {"path": str(p)}) for p in markers]
+        with pytest.raises(SweepWorkerError, match="kaboom"):
+            SweepExecutor(jobs=2).run_tasks(tasks)
+        # run_tasks only returns after its pool has shut down, so this
+        # is not a race: a marker missing here was cancelled, not slow.
+        ran = [p for p in markers if p.exists()]
+        assert len(ran) <= 4, (  # jobs + prefetch(1) + slack(1)
+            f"{len(ran)} of {len(markers)} pending tasks still ran "
+            f"after the batch failed -- cancellation is not happening")
+        assert not markers[-1].exists()
