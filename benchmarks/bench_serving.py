@@ -6,11 +6,15 @@ source-partition RoutingTable shards materialized by the k-source
 pipeline on the fast backend) and measures the batched+cached
 steady-state serving throughput against the naive one-table-walk-per-
 query baseline, with the batched answers always asserted identical to
-the naive ones.  Alongside the timed rows it exercises an incremental
+the naive ones.  A ``build`` row per size times the same shard
+materialization on the fast backend vs ``backend="columnar"`` (the
+pipelined bulk kernel), with the served-table digests asserted
+bit-equal.  Alongside the timed rows it exercises an incremental
 refresh (minimum-weight edge deleted; only affected sources recomputed,
 only their shards epoch-swapped, only their cache entries invalidated;
 post-refresh answers Dijkstra-checked through the cached path) and pins
-the served-table digests bit-identical across both simulator backends.
+the served-table digests bit-identical across all three simulator
+backends.
 
 Two entry points:
 
@@ -48,6 +52,9 @@ def _structural_failures(rep):
         if row == "serve" and m.extra.get("answers_match") != 1:
             bad.append(f"serve n={m.params['n']}: batched answers "
                        f"diverge from the naive baseline")
+        if row == "build" and m.extra.get("tables_match") != 1:
+            bad.append(f"build n={m.params['n']}: columnar shard build "
+                       f"diverges from the fast backend")
         if row == "refresh":
             if m.extra.get("correct") != 1:
                 bad.append(f"refresh n={m.params['n']}: served distances "
@@ -114,11 +121,17 @@ def main(argv=None) -> int:
               f"{args.min_speedup}x gate", file=sys.stderr)
         return 1
     refreshes = [m for m in rep.rows if m.params["row"] == "refresh"]
+    builds = [m for m in rep.rows if m.params["row"] == "build"]
+    build_note = ""
+    if builds:
+        b = max(builds, key=lambda m: m.params["n"])
+        build_note = (f"; columnar shard build {b.measured}x fast "
+                      f"at n={b.params['n']}")
     print(f"OK: {largest.measured}x at n={largest.params['n']} "
           f"({largest.extra['qps_cached']} q/s cached vs "
           f"{largest.extra['qps_naive']} naive, hit rate "
           f"{largest.extra['hit_rate']}); {len(refreshes)} refreshes "
-          f"Dijkstra-correct; digests backend-pinned")
+          f"Dijkstra-correct; digests backend-pinned{build_note}")
     return 0
 
 

@@ -15,6 +15,7 @@ from .tables import format_value, render_markdown, render_report, render_table
 from .sweep import (
     sweep_backend_speedup,
     sweep_columnar,
+    sweep_columnar_pipelined,
     sweep_fault_tolerance,
     sweep_invariants,
     sweep_node_kernels,
@@ -45,6 +46,7 @@ __all__ = [
     "render_table",
     "sweep_backend_speedup",
     "sweep_columnar",
+    "sweep_columnar_pipelined",
     "sweep_fault_tolerance",
     "sweep_invariants",
     "sweep_node_kernels",

@@ -478,6 +478,117 @@ def sweep_columnar(*, sides: Sequence[int] = (30, 60, 100), w_max: int = 6,
     return rep
 
 
+def sweep_columnar_pipelined(*, sizes: Sequence[Tuple[int, float, int, int]]
+                             = ((128, 0.10, 16, 12), (192, 0.08, 24, 14),
+                                (256, 0.07, 32, 16)),
+                             w_max: int = 8, seed: int = 1,
+                             repeats: int = 3, timing: bool = True,
+                             report: Optional[ExperimentReport] = None
+                             ) -> ExperimentReport:
+    """E24: wall-clock speedup of the columnar pipelined (h, k)-SSP
+    kernel over the fast backend on the paper's actual algorithm.
+
+    E23 vectorized the Bellman-Ford relaxation family; this sweep
+    measures the tentpole that matters -- Algorithm 1 itself
+    (``run_hk_ssp``) executing as bulk column passes
+    (:mod:`repro.perf.columnar_pipelined`): the Step 1 send schedule as
+    a rank bisection over the key column, Step 2 deliveries as one CSR
+    gather per round, and insert_sp / eviction / nu-counting as column
+    passes with the reference tie-break.
+
+    The workload is the kernel's dense-wavefront regime: directed
+    random graphs with ``k`` spread sources and ``h`` around the
+    effective diameter, so each round carries thousands of messages and
+    the per-message object traffic (Envelope, payload tuple, Counter
+    updates, list_v method calls) the fast backend pays is the dominant
+    cost.  ``Delta`` is precomputed once per size via the sequential
+    oracle and passed to **both** arms, so only the simulators are
+    timed; each ``(n, p, k, h)`` size runs once per available bulk
+    implementation (``impl="numpy"`` and, always, ``impl="python"`` --
+    the fallback must stay faster than the fast backend, not just
+    exist).
+
+    Timing is interleaved best-of-``repeats`` as in E19/E20/E23, and
+    every timed pair is differentially re-checked (distances, source
+    set, Delta, rounds, messages, words, per-channel and per-node
+    counters), so a speedup can never come from the backends quietly
+    computing different things.
+
+    ``timing=False`` switches to the deterministic mode used by the
+    ``obs bench`` smoke suite and its committed baseline: no clocks --
+    ``measured`` is the (deterministic) round count plus the
+    differential-agreement flag, bit-stable across machines.
+
+    ``measured`` (timing mode) is the speedup (fast seconds / columnar
+    seconds); the CI gate lives in
+    ``benchmarks/bench_columnar_pipelined.py`` (fails below 2x for the
+    primary implementation at the largest size, or if the pure-Python
+    fallback drops to/below 1x).
+    """
+    from ..graphs.reference import weak_delta_bound
+    from ..perf import columnar as columnar_mod
+
+    rep = report or ExperimentReport(
+        "E24", "Columnar pipelined kernel speedup: Algorithm 1 as bulk "
+               "column passes vs the fast backend's per-message loop on "
+               "dense random (h, k)-SSP instances")
+    impls = (("numpy", "python") if columnar_mod._numpy() is not None
+             else ("python",))
+    for n, p, k, h in sizes:
+        g = random_graph(n, p=p, w_max=w_max, seed=seed, directed=True)
+        srcs = list(range(0, n, max(1, n // k)))[:k]
+        delta = weak_delta_bound(g, srcs, h)
+        for impl in impls:
+
+            def timed(backend):
+                t0 = time.perf_counter()
+                r = run_hk_ssp(g, srcs, h, delta, backend=backend)
+                return time.perf_counter() - t0, r
+
+            prev = columnar_mod.set_numpy_enabled(impl == "numpy")
+            try:
+                fast_s = col_s = math.inf
+                fast_res = col_res = None
+                for _ in range(max(1, repeats if timing else 1)):
+                    dt, r = timed("fast")
+                    if dt < fast_s:
+                        fast_s, fast_res = dt, r
+                    dt, c = timed("columnar")
+                    if dt < col_s:
+                        col_s, col_res = dt, c
+            finally:
+                columnar_mod.set_numpy_enabled(prev)
+            if (fast_res.dist != col_res.dist
+                    or fast_res.sources != col_res.sources
+                    or fast_res.delta != col_res.delta):
+                raise AssertionError(
+                    f"E24 n={n} impl={impl}: backends disagree on "
+                    f"outputs -- speedup numbers would be meaningless "
+                    f"(conformance suite escape, see "
+                    f"tests/backend_conformance.py)")
+            mf, mc = fast_res.metrics, col_res.metrics
+            if (mf.rounds != mc.rounds or mf.messages != mc.messages
+                    or mf.words != mc.words
+                    or mf.channel_messages != mc.channel_messages
+                    or mf.node_sends != mc.node_sends):
+                raise AssertionError(
+                    f"E24 n={n} impl={impl}: backends disagree on "
+                    f"metrics (rounds {mf.rounds} vs {mc.rounds}, "
+                    f"messages {mf.messages} vs {mc.messages}, words "
+                    f"{mf.words} vs {mc.words})")
+            base = {"n": n, "p": p, "k": len(srcs), "h": h,
+                    "Delta": delta, "impl": impl}
+            if timing:
+                rep.add(base, measured=round(fast_s / col_s, 2),
+                        fast_s=round(fast_s, 4),
+                        columnar_s=round(col_s, 4),
+                        rounds=mc.rounds, messages=mc.messages)
+            else:
+                rep.add(base, measured=mc.rounds, messages=mc.messages,
+                        words=mc.words, backends_agree=1)
+    return rep
+
+
 def sweep_fault_tolerance(*, drop_rates: Sequence[float] = (0.0, 0.01, 0.05, 0.1),
                           seeds: Sequence[int] = (0, 1),
                           sizes: Sequence[int] = (10, 14),
@@ -643,7 +754,7 @@ def sweep_serving(*, sizes: Sequence[Tuple[int, float, int]] = (
     per second vs the naive per-query table walk, plus incremental
     refresh and cross-backend table digests.
 
-    Three row families per ``(n, p, queries)`` size (sparse graphs, so
+    Four row families per ``(n, p, queries)`` size (sparse graphs, so
     naive route walks are long -- the regime a cache pays in):
 
     * ``row=serve`` -- a seeded Zipf workload replayed against one
@@ -653,6 +764,13 @@ def sweep_serving(*, sizes: Sequence[Tuple[int, float, int]] = (
       steady-state seconds (cache warmed by one pass, then best of
       ``repeats``) -- the quantity the >= 5x CI gate
       (benchmarks/bench_serving.py) checks at the largest size.
+    * ``row=build`` -- shard materialization wall-clock, fast backend
+      vs ``backend="columnar"`` (the pipelined bulk kernel,
+      :mod:`repro.perf.columnar_pipelined`, carries every shard's
+      k-source run).  ``measured`` is fast seconds / columnar seconds
+      (best of ``repeats``); the served-table digests and build round
+      counts are always asserted identical (``tables_match``) -- the
+      speedup is only reported for tables that are bit-equal.
     * ``row=refresh`` -- an :class:`~repro.recovery.EdgeUpdate` deleting
       a minimum-weight edge; ``measured`` is
       ``rounds_to_repair`` (deterministic), with the affected-source /
@@ -660,15 +778,17 @@ def sweep_serving(*, sizes: Sequence[Tuple[int, float, int]] = (
       post-refresh tables re-checked against Dijkstra through the
       *cached* query path (``correct``).
     * ``row=digest`` -- a small oracle built and refreshed identically
-      on both simulator backends; asserts bit-identical
-      :meth:`DistanceOracle.digest` values (``backends_agree``), the
-      E19/E21 cross-backend pinning pattern.
+      on every simulator backend (reference, fast, columnar); asserts
+      bit-identical :meth:`DistanceOracle.digest` values
+      (``backends_agree``), the E19/E21 cross-backend pinning pattern.
 
     ``timing=False`` switches to the deterministic mode used by the
     ``obs bench`` smoke suite: no clocks -- ``row=serve`` reports the
     table-build round count with the cache hit/miss tallies (exact
-    replays of a seeded stream, so bit-stable across machines); the
-    refresh and digest rows are clock-free by construction.
+    replays of a seeded stream, so bit-stable across machines),
+    ``row=build`` reports the (backend-invariant) build round count
+    with the digest comparison still enforced; the refresh and digest
+    rows are clock-free by construction.
     """
     from ..recovery import EdgeUpdate
     from ..serve import DistanceOracle, generate_workload
@@ -712,6 +832,39 @@ def sweep_serving(*, sizes: Sequence[Tuple[int, float, int]] = (
                     distinct_pairs=wl.distinct_pairs(),
                     answers_match=1)
 
+        # Shard build time: the same pipelined materialization on the
+        # fast backend vs the columnar bulk kernel.  Built before the
+        # refresh below mutates the serving graph.
+        bbase = {"n": n, "p": p, "queries": num_queries, "seed": seed,
+                 "skew": skew, "row": "build"}
+        build_s = {"fast": math.inf, "columnar": math.inf}
+        built = {}
+        for _ in range(max(1, repeats) if timing else 1):
+            for backend_name in ("fast", "columnar"):
+                t0 = time.perf_counter()
+                built[backend_name] = DistanceOracle(
+                    g, num_shards=4, method="pipelined",
+                    backend=backend_name, cache_size=0)
+                build_s[backend_name] = min(
+                    build_s[backend_name], time.perf_counter() - t0)
+        if (built["fast"].digest() != built["columnar"].digest()
+                or built["fast"].build_rounds
+                != built["columnar"].build_rounds):
+            raise AssertionError(
+                f"E22 n={n}: columnar shard build diverges from the "
+                f"fast backend -- build speedup would be meaningless")
+        if timing:
+            rep.add(bbase,
+                    measured=round(build_s["fast"] / build_s["columnar"],
+                                   2),
+                    build_s_fast=round(build_s["fast"], 4),
+                    build_s_columnar=round(build_s["columnar"], 4),
+                    build_rounds=built["columnar"].build_rounds,
+                    tables_match=1)
+        else:
+            rep.add(bbase, measured=built["columnar"].build_rounds,
+                    tables_match=1)
+
         # Incremental refresh: delete a minimum-weight edge (near-certain
         # to sit on shortest-path trees) and re-serve.
         u, v, w = min(sorted(g.edges()), key=lambda e: (e[2], e))
@@ -735,17 +888,16 @@ def sweep_serving(*, sizes: Sequence[Tuple[int, float, int]] = (
     g = random_graph(n_pin, p=0.3, w_max=8, zero_fraction=0.2, seed=seed)
     u, v, w = min(sorted(g.edges()), key=lambda e: (e[2], e))
     digests = {}
-    for backend in ("reference", "fast"):
+    for backend in ("reference", "fast", "columnar"):
         o = DistanceOracle(g, num_shards=3, method="pipelined",
                            backend=backend)
         o.refresh(EdgeUpdate(u, v, None))
         assert not o.oracle_check(), (
             f"E22 digest row: backend {backend} serves wrong distances")
         digests[backend] = o.digest()
-    assert digests["reference"] == digests["fast"], (
+    assert len(set(digests.values())) == 1, (
         f"E22: backends disagree on the served-table digest -- "
-        f"reference {digests['reference'][:12]} vs fast "
-        f"{digests['fast'][:12]}")
+        + ", ".join(f"{b} {d[:12]}" for b, d in digests.items()))
     rep.add({"n": n_pin, "p": 0.3, "queries": 0, "seed": seed,
              "skew": skew, "row": "digest"},
             measured=1, backends_agree=1,

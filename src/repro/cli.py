@@ -10,7 +10,7 @@ Commands operate on graph files in the plain-text format of
 * ``hkssp`` -- the (h, k)-SSP problem (the paper's weak contract);
 * ``approx``-- (1+eps)-approximate APSP;
 * ``bounds``-- evaluate the paper's bound formulas for given parameters;
-* ``bench`` -- run one of the experiment sweeps (E1-E23) and print its
+* ``bench`` -- run one of the experiment sweeps (E1-E24) and print its
   measured-vs-bound table, optionally fanned out across worker
   processes (``--jobs N``) via :class:`repro.perf.SweepExecutor`;
 * ``explain``-- replay how one node learned its distance from one source;
@@ -226,6 +226,7 @@ def cmd_bench(args, out) -> int:
         "E21": lambda: [sweep_mod.sweep_recovery()],
         "E22": lambda: [sweep_mod.sweep_serving()],
         "E23": lambda: [sweep_mod.sweep_columnar()],
+        "E24": lambda: [sweep_mod.sweep_columnar_pipelined()],
     }
     key = args.experiment.upper()
     if key == "ALL":
@@ -584,6 +585,12 @@ _SMOKE_SUITE = (
     # benchmarks/bench_columnar.py, not the smoke compare).
     ("repro.analysis.sweep:sweep_columnar",
      {"sides": (12,), "timing": False}),
+    # E24 in its clock-free mode: deterministic rounds/messages plus the
+    # fast-vs-columnar agreement flag for the pipelined bulk kernel (the
+    # timed >= 2x gate is benchmarks/bench_columnar_pipelined.py, not
+    # the smoke compare).
+    ("repro.analysis.sweep:sweep_columnar_pipelined",
+     {"sizes": ((32, 0.2, 6, 8),), "timing": False}),
 )
 
 
@@ -793,7 +800,7 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("-q", "--quiet", action="store_true")
     ap.set_defaults(func=cmd_approx)
 
-    be = sub.add_parser("bench", help="run an experiment sweep (E1-E23 or all)")
+    be = sub.add_parser("bench", help="run an experiment sweep (E1-E24 or all)")
     be.add_argument("experiment", help="experiment id, e.g. E2, or 'all'")
     be.add_argument("--jobs", type=int, default=1, metavar="N",
                     help="fan seed-splittable sweeps out across N worker "

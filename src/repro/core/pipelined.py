@@ -259,6 +259,49 @@ class PipelinedSSPProgram(Program):
                 out[x] = (int(b.d), int(b.l), b.parent)
         return out
 
+    # -- columnar bridge ---------------------------------------------------
+    #
+    # The columnar bulk kernel (repro.perf.columnar_pipelined) lifts this
+    # program's state into flat columns at run() entry and writes it back
+    # at run() exit.  The bridge is exact: the rebuilt list, bests, and
+    # stats are indistinguishable from a per-message run, so outputs,
+    # resumption, checkpoints, and inspection all agree bit for bit.
+
+    def export_kernel_state(self) -> Dict[str, object]:
+        """Flatten the program state into the column dict the bulk
+        kernel consumes (see :func:`repro.core.node_list.export_entry_columns`
+        for the list layout)."""
+        keys, lcol, pcol, fcol = _node_list.export_entry_columns(self.list_v)
+        return {
+            "keys": keys, "l": lcol, "parent": pcol, "flag": fcol,
+            "best": {x: (b.d, b.l, b.parent) for x, b in self.best.items()},
+            "max_list_len": self.max_list_len_seen,
+            "max_per_source": self.max_per_source_seen,
+            "last_sp_round": self.last_sp_update_round,
+            "sends": self.sends,
+        }
+
+    def adopt_kernel_state(self, state: Dict[str, object]) -> None:
+        """Inverse of :meth:`export_kernel_state`: rebuild ``list_v`` in
+        place from the columns and re-wire each ``SourceBest`` to alias
+        the (unique) flagged entry of its source, preserving the object
+        identities checkpointing relies on."""
+        entries = _node_list.load_entry_columns(
+            self.list_v, state["keys"], state["l"],
+            state["parent"], state["flag"])
+        flagged: Dict[int, Entry] = {}
+        for e in entries:
+            if e.flag_sp:
+                flagged[e.x] = e
+        for x, (d, l, parent) in state["best"].items():
+            b = self.best[x]
+            b.d, b.l, b.parent = d, l, parent
+            b.entry = flagged.get(x)
+        self.max_list_len_seen = state["max_list_len"]
+        self.max_per_source_seen = state["max_per_source"]
+        self.last_sp_update_round = state["last_sp_round"]
+        self.sends = state["sends"]
+
 
 @dataclass
 class HKSSPResult:

@@ -9,14 +9,17 @@ an :class:`~repro.congest.message.Envelope` allocation, a payload tuple,
 a ``Counter`` update, and several method calls for every single message.
 At n in the tens of thousands that object traffic dominates wall-clock.
 
-The columnar engine eliminates it for the **relaxation family** of
-programs (:class:`~repro.core.bellman_ford.BellmanFordProgram` -- SSSP,
-h-hop DP, the k-source/APSP baselines, and the serve/recovery layers'
-table builds, which all bottom out in it): per-node state lives in flat
-columns (distances, arrival rounds, parents, the send schedule), the
-graph lives in CSR arrays, and each round's sends, deliveries, distance
-updates, and wavefront evictions execute as a handful of bulk array
-operations instead of ~messages x method calls:
+The columnar engine eliminates it for two program families: the
+**relaxation family** (:class:`~repro.core.bellman_ford.BellmanFordProgram`
+-- SSSP, h-hop DP, the k-source/APSP baselines) and the paper's own
+**pipelined (h, k)-SSP family**
+(:class:`~repro.core.pipelined.PipelinedSSPProgram`, bulk kernel in
+:mod:`repro.perf.columnar_pipelined` -- the hot path behind every
+Table I experiment and every serve-layer shard build).  Per-node state
+lives in flat columns (distances, arrival rounds, parents, the send
+schedule), the graph lives in CSR arrays, and each round's sends,
+deliveries, distance updates, and wavefront evictions execute as a
+handful of bulk array operations instead of ~messages x method calls:
 
 * **send schedule** -- the relaxation wavefront is a single flat array
   of scheduled node ids (every improved node fires in the next round,
@@ -52,9 +55,13 @@ inherited event-driven loop
 hook surface with reference semantics.  That is the explicit-vs-ambient
 rule of :mod:`repro.perf.backends` taken seriously: an explicit
 ``backend="columnar"`` must never silently diverge, so the bulk path is
-taken exactly when it is provably equivalent, and eligibility is
-re-decided at each ``run()`` entry from the programs themselves (one
-O(n + m) scan, amortized over the whole run).
+taken exactly when it is provably equivalent.  Eligibility has two
+tiers: the *static* facts (program family, uniform parameters, graph
+shape) are scanned once per network -- programs and topology are fixed
+at construction, so the O(n + m) verdict is memoized across ``run()``
+re-entries and resumptions -- while the cheap *dynamic* conditions
+(hooks attached after construction, wavefront alignment, the numpy
+gate, paranoid mode) are re-checked at every entry.
 
 numpy is optional.  The bulk kernels have two interchangeable
 implementations -- vectorized numpy and a batched pure-Python fallback
@@ -156,6 +163,15 @@ CORRUPTION_MODES = (
     # skip the per-round node_sends bulk update, as a stale counter
     # column would:
     "stale-count",
+    # pipelined kernel: schedule every send one round early
+    # (ceil(kappa + pos) computed with 0-based positions), as an
+    # off-by-one in the rank arrays that replace the node_list
+    # bisection would:
+    "send-rank-off-by-one",
+    # pipelined kernel: advertise nu as the per-source rank + 2 instead
+    # of rank + 1, as an inclusive/exclusive mix-up in the segmented
+    # nu-count pass would:
+    "nu-off-by-one",
 )
 
 
@@ -190,45 +206,59 @@ class _RelaxationKernel:
 
     @staticmethod
     def matches(net: "ColumnarNetwork") -> bool:
-        """Whether this network's current state is bulk-executable.
+        """Whether this network is bulk-executable: the *static*
+        eligibility scan (memoized by the network -- programs and graph
+        are fixed at construction).
 
-        Beyond the program family, three properties the vectorized
-        round relies on are checked up front (each falls back to the
-        generic loop rather than diverging):
+        Beyond the program family, two properties the vectorized round
+        relies on are checked up front (each falls back to the generic
+        loop rather than diverging):
 
         * one hop cutoff shared by all nodes (the silent-round cutoff
           is applied to the whole wavefront at once);
-        * a *single* wavefront -- every scheduled node announces in the
-          same round.  True throughout any fault-free relaxation run,
-          but a checkpoint captured mid-flight under faults can restore
-          staggered announce rounds onto a fault-free network;
         * plain-``int`` weights and duplicate-free out-neighbours, so
           float64 columns reproduce the reference's output types
           exactly and CONGEST channel enforcement can never trigger on
           the bulk path (a duplicated channel must raise the reference
           backend's ``CongestionError``, which the generic loop does).
+
+        Per-run dynamic conditions live in :meth:`revalidate`.
         """
         from ..core.bellman_ford import BellmanFordProgram
         programs = net.programs
         if not programs or type(programs[0]) is not BellmanFordProgram:
             return False
         hops_cap = programs[0].max_hops
-        wave_round = None
         for p in programs:
             if type(p) is not BellmanFordProgram or p.max_hops != hops_cap:
                 return False
-            a = p._announce
-            if a is not None:
-                if wave_round is None:
-                    wave_round = a
-                elif a != wave_round:
-                    return False
         for ctx in net.contexts:
             seen = set()
             for u, w in ctx.out_edges:
                 if type(w) is not int or u in seen:
                     return False
                 seen.add(u)
+        return True
+
+    def revalidate(self) -> bool:
+        """Per-run dynamic eligibility, re-checked at every ``run()``
+        entry on the memoized kernel: a *single* wavefront -- every
+        scheduled node announces in the same round.  True throughout
+        any fault-free relaxation run, but a checkpoint captured
+        mid-flight under faults can restore staggered announce rounds
+        onto a fault-free network; such a run takes the generic loop
+        (that run only -- the bulk path returns once the stagger
+        drains).  Also re-syncs the numpy feature gate so flag flips
+        between runs are honored on a cached kernel."""
+        wave_round = None
+        for p in self.net.programs:
+            a = p._announce
+            if a is not None:
+                if wave_round is None:
+                    wave_round = a
+                elif a != wave_round:
+                    return False
+        self._sync_impl()
         return True
 
     def __init__(self, net: "ColumnarNetwork") -> None:
@@ -251,13 +281,24 @@ class _RelaxationKernel:
         #: Per-CSR-edge message tallies, flushed to the RunMetrics
         #: Counter once per run (bulk accounting, not per-message).
         self._edge_msgs = [0] * len(heads)
+        self._use_np = False
+        self._np_ready = False
+        self._sync_impl()
+
+    def _sync_impl(self) -> None:
+        """Re-resolve the numpy feature gate and lazily build the numpy
+        mirrors of the CSR arrays.  Cheap; called at construction and at
+        every ``run()`` entry (via :meth:`revalidate`) so a memoized
+        kernel honors ``set_numpy_enabled`` / ``REPRO_COLUMNAR_NUMPY``
+        flips between runs."""
         self._use_np = numpy_enabled()
-        if self._use_np:
+        if self._use_np and not self._np_ready:
             np = _numpy()
-            self._np_indptr = np.asarray(indptr, dtype=np.int64)
-            self._np_heads = np.asarray(heads, dtype=np.int64)
-            self._np_weights = np.asarray(weights, dtype=np.float64)
-            self._np_edge_msgs = np.zeros(len(heads), dtype=np.int64)
+            self._np_indptr = np.asarray(self._indptr, dtype=np.int64)
+            self._np_heads = np.asarray(self._heads, dtype=np.int64)
+            self._np_weights = np.asarray(self._weights, dtype=np.float64)
+            self._np_edge_msgs = np.zeros(len(self._heads), dtype=np.int64)
+            self._np_ready = True
 
     # -- load / store ------------------------------------------------------
 
@@ -492,9 +533,15 @@ class _RelaxationKernel:
 
 
 #: Kernel registry: the columnar engine takes the bulk path iff some
-#: kernel's ``matches`` accepts the network (and no hook is attached).
-#: Future vectorizable program families register here.
+#: kernel's (memoized, static) ``matches`` accepts the network, the
+#: cached kernel's (per-run, dynamic) ``revalidate`` agrees, and no
+#: hook is attached.  Future vectorizable program families register
+#: here (the pipelined kernel self-registers at the import below).
 COLUMNAR_KERNELS: List[Type[_RelaxationKernel]] = [_RelaxationKernel]
+
+#: Sentinel distinguishing "eligibility never scanned" from a cached
+#: negative verdict (``None`` is itself a valid cache value).
+_UNSET: Any = object()
 
 
 class ColumnarNetwork(FastNetwork):
@@ -508,6 +555,16 @@ class ColumnarNetwork(FastNetwork):
     never silently diverges.
     """
 
+    #: Memoized static-eligibility verdict (a kernel instance or None);
+    #: class attribute as the default, shadowed per instance on first
+    #: scan.  Programs and topology are fixed at construction, so the
+    #: verdict can never go stale.
+    _kernel_cache: Any = _UNSET
+    #: Number of O(n + m) eligibility scans performed -- pinned by the
+    #: memoization regression test (one per network, however many
+    #: run() re-entries and resumptions follow).
+    _eligibility_scans: int = 0
+
     def _columnar_kernel(self):
         """The bulk kernel for this network, or ``None`` (generic loop).
 
@@ -517,14 +574,28 @@ class ColumnarNetwork(FastNetwork):
         materializes, so those runs take the instrumented loop with
         reference semantics.  ``registry`` and HOT profiling only need
         per-round timing and are honored on both paths.
+
+        Hooks are re-checked at every entry (they can be attached to an
+        existing network between runs); the O(n + m) static scan over
+        programs and edges runs once per network, and the memoized
+        kernel's cheap :meth:`~_RelaxationKernel.revalidate` carries
+        the remaining per-run conditions.
         """
         if (self.fault_injector is not None or self.tracer is not None
                 or self.trace is not None or self.monitor is not None):
             return None
-        for kernel_cls in COLUMNAR_KERNELS:
-            if kernel_cls.matches(self):
-                return kernel_cls(self)
-        return None
+        kernel = self._kernel_cache
+        if kernel is _UNSET:
+            self._eligibility_scans += 1
+            kernel = None
+            for kernel_cls in COLUMNAR_KERNELS:
+                if kernel_cls.matches(self):
+                    kernel = kernel_cls(self)
+                    break
+            self._kernel_cache = kernel
+        if kernel is not None and not kernel.revalidate():
+            return None
+        return kernel
 
     def run(self, max_rounds: int):
         kernel = self._columnar_kernel()
@@ -532,6 +603,12 @@ class ColumnarNetwork(FastNetwork):
             return FastNetwork.run(self, max_rounds)
         return kernel.run(max_rounds)
 
+
+# The pipelined (h, k)-SSP bulk kernel lives in its own module (it is
+# as large as this one) and self-registers into COLUMNAR_KERNELS at the
+# end of its import -- a shape that stays import-order-safe whichever
+# of the two modules is imported first.
+from . import columnar_pipelined as _columnar_pipelined  # noqa: E402,F401
 
 __all__ = [
     "COLUMNAR_KERNELS",

@@ -1,0 +1,776 @@
+"""Columnar bulk kernel for the pipelined (h, k)-SSP program family.
+
+This module vectorizes the paper's actual algorithm: where the
+relaxation kernel (:mod:`repro.perf.columnar`) covers the Bellman-Ford
+baselines, :class:`_PipelinedKernel` executes
+:class:`~repro.core.pipelined.PipelinedSSPProgram` networks -- the hot
+path behind every Table I experiment and every serve-layer shard build
+-- without per-message Python objects.
+
+What is bulk and what is not
+----------------------------
+Per node, ``list_v`` becomes four parallel columns -- the sorted
+``(kappa, d, x)`` sort keys plus ``l`` / ``parent`` / ``flag_sp`` --
+mirrored by per-source key/flag subsequences and the count-of-counts
+histogram, exactly the indexes the kernelised
+:class:`~repro.core.node_list.NodeList` maintains on Entry objects.
+On those columns:
+
+* **Step 1 (send rule)** ``ceil(kappa + pos) == r`` runs as rank
+  arithmetic on the key column (:func:`repro.core.keys.next_send_after`
+  -- the strictly-increasing-schedule bisection), with the firing
+  *index* cached next to the scheduled round so firing is O(1): no
+  ``node_list`` bisection, no Entry access, and ``nu`` is two bisects
+  (global run start + per-source rank);
+* **Step 2 (deliveries)** run through the CSR gather: one flat
+  ``(src, dst, w)`` edge batch per round, candidate ``d' = d + w``,
+  ``l' = l + 1`` and ``kappa' = d' * gamma + l'`` computed for the
+  whole batch (vectorized under numpy), per-edge message tallies
+  accumulated in flat counters -- no Envelope, payload tuple, or
+  Counter update per message;
+* **Steps 8-13 (insert_sp / eviction / nu-counting)** execute as
+  scatter-min-style column passes: the flag-d* promotion is a bisect +
+  column insert with the reference tie-break (equal-key demoted twin
+  removed outright, else closest non-SP same-source entry above
+  evicted when the Invariant 2 budget demands), the Step 13 quota gate
+  is one per-source ``bisect_right``, and Invariant 1 is asserted per
+  insert with the reference's exact message.
+
+The **order** of arrivals within a round is semantic (the quota gate
+and the flag-d* tie-breaks read list state mutated by earlier arrivals
+of the same round), so per-destination candidates are folded
+sequentially in ascending-source order -- bit-identically to the
+reference's sorted inbox -- while everything around that fold
+(scheduling, expansion, key computation, accounting) is batched.
+
+Exactness contract
+------------------
+Same as the relaxation kernel: load / compute / store.  ``run()``
+flattens program state into columns
+(:meth:`~repro.core.pipelined.PipelinedSSPProgram.export_kernel_state`),
+executes rounds on them, and materializes them back
+(:meth:`~repro.core.pipelined.PipelinedSSPProgram.adopt_kernel_state`)
+in a ``finally`` -- so outputs, round numbers, resumption, checkpoints
+and post-mortems observe exactly the state the per-message backends
+would have produced, and ``tests/backend_conformance.py`` pins the
+equality differentially (including deliberate-corruption runs via the
+``send-rank-off-by-one`` / ``nu-off-by-one`` modes this module honors).
+
+Keys are recomputed as the same single multiply-add on ``(d, l)`` as
+the scalar path -- under numpy via a float64 vector op, which is
+bit-identical for the integer ranges the CONGEST word model admits --
+so list orders agree across backends to the last ulp.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from heapq import heapify, heappop, heappush
+from math import ceil as _ceil, inf as _INF
+from time import perf_counter as _perf
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.keys import next_send_after
+from ..obs.profiling import HOT as _HOT
+from .fast_network import RoundLimitExceeded
+from . import columnar as _cmod
+
+_Key = Tuple[float, int, int]
+
+#: Words per pipelined payload ``(d, l, x, flag_sp, nu)`` -- five
+#: scalars (repro.congest.message.payload_words).
+_PAYLOAD_WORDS = 5
+
+
+class _PipelinedKernel:
+    """Columnar executor for networks whose every program is a
+    :class:`~repro.core.pipelined.PipelinedSSPProgram` (see the module
+    docstring for the column layout and the exactness contract)."""
+
+    @staticmethod
+    def matches(net) -> bool:
+        """Static eligibility (memoized by the network): every program
+        is a plain ``PipelinedSSPProgram`` with uniform parameters and
+        no per-program instrumentation, and the graph is bulk-safe.
+
+        * uniform ``sources`` / ``h`` / ``gamma`` / ``cutoff_round`` /
+          ``directed_broadcast`` / ``budget`` -- the kernel hoists them
+          once; mixed-parameter networks (never produced by the entry
+          points) take the generic loop;
+        * ``trace is None`` and ``record_sends`` off: both observe
+          per-send events the bulk path never materializes (paranoid
+          mode forces ``record_sends`` on, so a paranoid process also
+          stays on the instrumented loop);
+        * a known ``list_v`` kernel, so the column export/import is
+          exact for its index structure;
+        * ``max_message_words >= 5``: a smaller budget must raise the
+          reference's ``MessageSizeError``, which the generic loop
+          does;
+        * ``int`` weights and duplicate-free broadcast targets, so
+          channel enforcement can never trigger on the bulk path
+          (``channel_capacity >= 1`` is construction-enforced).
+        """
+        from ..core.pipelined import PipelinedSSPProgram
+        from ..core.node_list import LIST_KERNELS
+        programs = net.programs
+        if not programs or type(programs[0]) is not PipelinedSSPProgram:
+            return False
+        if net.max_message_words < _PAYLOAD_WORDS:
+            return False
+        p0 = programs[0]
+        sources0 = tuple(p0.sources)
+        params0 = (p0.h, p0.gamma, p0.cutoff_round, p0.directed_broadcast,
+                   p0.budget)
+        list_types = tuple(LIST_KERNELS.values())
+        for v, p in enumerate(programs):
+            if (type(p) is not PipelinedSSPProgram or p.v != v
+                    or tuple(p.sources) != sources0
+                    or (p.h, p.gamma, p.cutoff_round, p.directed_broadcast,
+                        p.budget) != params0
+                    or p.trace is not None or p.record_sends
+                    or type(p.list_v) not in list_types):
+                return False
+        directed = p0.directed_broadcast
+        for ctx in net.contexts:
+            seen = set()
+            for u, w in ctx.out_edges:
+                if type(w) is not int or u in seen:
+                    return False
+                seen.add(u)
+            if not directed:
+                neigh = ctx.comm_neighbors
+                if len(set(neigh)) != len(neigh):
+                    return False
+        return True
+
+    def revalidate(self) -> bool:
+        """Per-run dynamic eligibility on the memoized kernel: paranoid
+        mode may have been toggled since the static scan (it re-derives
+        kernel queries through Entry objects the bulk path does not
+        keep), and the numpy gate is re-synced so flag flips between
+        runs are honored."""
+        from ..core import node_list as _node_list
+        if _node_list.PARANOID:
+            return False
+        self._sync_impl()
+        return True
+
+    def __init__(self, net) -> None:
+        self.net = net
+        self.n = net.n
+        p0 = net.programs[0]
+        self.h: int = p0.h
+        self.gamma: float = p0.gamma
+        self.cutoff: Optional[int] = p0.cutoff_round
+        self.budget: Optional[int] = p0.budget
+        self.directed: bool = p0.directed_broadcast
+        # CSR of the broadcast targets, node ranges in increasing node
+        # order.  Directed mode broadcasts over out-edges; undirected
+        # mode over comm_neighbors, where the *relaxation* weight is the
+        # receiver's weight_in(sender) -- the sender's out-edge weight
+        # to that neighbour, absent (wok=False) when the channel exists
+        # only for the reverse edge (the message is still delivered and
+        # counted; there is just nothing to relax).
+        indptr = [0]
+        heads: List[int] = []
+        weights: List[int] = []
+        wok: List[bool] = []
+        for v in range(self.n):
+            ctx = net.contexts[v]
+            if self.directed:
+                for u, w in ctx.out_edges:
+                    heads.append(u)
+                    weights.append(w)
+                    wok.append(True)
+            else:
+                out_w = dict(ctx.out_edges)
+                for u in ctx.comm_neighbors:
+                    w = out_w.get(u)
+                    heads.append(u)
+                    weights.append(0 if w is None else w)
+                    wok.append(w is not None)
+            indptr.append(len(heads))
+        self._indptr = indptr
+        self._heads = heads
+        self._weights = weights
+        self._wok = wok
+        self._all_wok = all(wok)
+        #: Per-CSR-edge message tallies, flushed to the RunMetrics
+        #: Counter once per run.
+        self._edge_msgs = [0] * len(heads)
+        self._use_np = False
+        self._np_ready = False
+        self._sync_impl()
+
+    def _sync_impl(self) -> None:
+        """Re-resolve the numpy feature gate; lazily build the numpy
+        CSR mirrors (see _RelaxationKernel._sync_impl)."""
+        self._use_np = _cmod.numpy_enabled()
+        if self._use_np and not self._np_ready:
+            np = _cmod._numpy()
+            self._np_indptr = np.asarray(self._indptr, dtype=np.int64)
+            self._np_heads = np.asarray(self._heads, dtype=np.int64)
+            self._np_weights = np.asarray(self._weights, dtype=np.int64)
+            self._np_edge_msgs = np.zeros(len(self._heads), dtype=np.int64)
+            self._np_ready = True
+
+    # -- load / store ------------------------------------------------------
+
+    def _load(self) -> None:
+        """Program state -> columns (see the module docstring for the
+        layout).  Per-source key/flag subsequences and the
+        count-of-counts histogram are derived from the flat columns, so
+        the load is exact for both list kernels."""
+        n = self.n
+        self.KEYS: List[List[_Key]] = [None] * n
+        self.LCOL: List[List[int]] = [None] * n
+        self.PCOL: List[List[Optional[int]]] = [None] * n
+        self.FCOL: List[List[bool]] = [None] * n
+        self.SKEYS: List[Dict[int, List[_Key]]] = [None] * n
+        self.SFLAGS: List[Dict[int, List[bool]]] = [None] * n
+        self.CFREQ: List[Dict[int, int]] = [None] * n
+        self.CMAX: List[int] = [0] * n
+        self.BEST: List[Dict[int, list]] = [None] * n
+        self.MAXLEN: List[int] = [0] * n
+        self.MAXSRC: List[int] = [0] * n
+        self.LASTSP: List[int] = [0] * n
+        self.SENDS: List[int] = [0] * n
+        for v, p in enumerate(self.net.programs):
+            st = p.export_kernel_state()
+            keys = st["keys"]
+            flags = st["flag"]
+            self.KEYS[v] = keys
+            self.LCOL[v] = st["l"]
+            self.PCOL[v] = st["parent"]
+            self.FCOL[v] = flags
+            skeys: Dict[int, List[_Key]] = {}
+            sflags: Dict[int, List[bool]] = {}
+            for i, key in enumerate(keys):
+                x = key[2]
+                sk = skeys.get(x)
+                if sk is None:
+                    sk = skeys[x] = []
+                    sflags[x] = []
+                sk.append(key)
+                sflags[x].append(flags[i])
+            freq: Dict[int, int] = {}
+            top = 0
+            for sk in skeys.values():
+                c = len(sk)
+                freq[c] = freq.get(c, 0) + 1
+                if c > top:
+                    top = c
+            self.SKEYS[v] = skeys
+            self.SFLAGS[v] = sflags
+            self.CFREQ[v] = freq
+            self.CMAX[v] = top
+            self.BEST[v] = {x: [d, l, par]
+                            for x, (d, l, par) in st["best"].items()}
+            self.MAXLEN[v] = st["max_list_len"]
+            self.MAXSRC[v] = st["max_per_source"]
+            self.LASTSP[v] = st["last_sp_round"]
+            self.SENDS[v] = st["sends"]
+
+    def _store(self) -> None:
+        """Columns -> program state (in place, preserving the object
+        identities resumption and checkpoints rely on)."""
+        for v, p in enumerate(self.net.programs):
+            p.adopt_kernel_state({
+                "keys": self.KEYS[v], "l": self.LCOL[v],
+                "parent": self.PCOL[v], "flag": self.FCOL[v],
+                "best": {x: (b[0], b[1], b[2])
+                         for x, b in self.BEST[v].items()},
+                "max_list_len": self.MAXLEN[v],
+                "max_per_source": self.MAXSRC[v],
+                "last_sp_round": self.LASTSP[v],
+                "sends": self.SENDS[v],
+            })
+
+    def _flush(self, msg_count: int, words_total: int) -> None:
+        """Bulk-accumulated accounting -> RunMetrics (idempotent: the
+        per-edge tallies are zeroed as they are drained)."""
+        metrics = self.net.metrics
+        if msg_count:
+            metrics.messages += msg_count
+            metrics.words += words_total
+            if metrics.max_message_words < _PAYLOAD_WORDS:
+                metrics.max_message_words = _PAYLOAD_WORDS
+        heads = self._heads
+        indptr = self._indptr
+        chmsg = metrics.channel_messages
+        if self._use_np:
+            np = _cmod._numpy()
+            counts = self._np_edge_msgs
+            (nz,) = np.nonzero(counts)
+            if len(nz):
+                srcs = np.searchsorted(self._np_indptr, nz, side="right") - 1
+                for e, u, c in zip(nz.tolist(), srcs.tolist(),
+                                   counts[nz].tolist()):
+                    chmsg[(u, heads[e])] += c
+                counts[nz] = 0
+        else:
+            counts = self._edge_msgs
+            u = 0
+            for e, c in enumerate(counts):
+                if c:
+                    while indptr[u + 1] <= e:
+                        u += 1
+                    chmsg[(u, heads[e])] += c
+                    counts[e] = 0
+
+    # -- count-of-counts histogram (mirrors NodeList._link/_unlink) --------
+
+    def _hist_link(self, v: int, count_after: int) -> None:
+        freq = self.CFREQ[v]
+        c = count_after - 1
+        if c:
+            freq[c] -= 1
+        freq[count_after] = freq.get(count_after, 0) + 1
+        if count_after > self.CMAX[v]:
+            self.CMAX[v] = count_after
+
+    def _hist_unlink(self, v: int, count_before: int) -> None:
+        freq = self.CFREQ[v]
+        freq[count_before] -= 1
+        if count_before > 1:
+            freq[count_before - 1] = freq.get(count_before - 1, 0) + 1
+        if self.CMAX[v] == count_before and freq.get(count_before, 0) == 0:
+            self.CMAX[v] = count_before - 1
+
+    # -- send schedule -----------------------------------------------------
+
+    def _next_fire(self, keys: List[_Key], r: int):
+        """``(round, index)`` of the earliest fire strictly after round
+        *r* under the current positions, or ``(None, 0)``.  The index is
+        cached by the caller: the schedule is strictly increasing, so
+        the entry found here is exactly the one that fires in that
+        round, and any list mutation before then re-runs this bisection
+        (the node is necessarily *touched* by the mutating round)."""
+        off = 0 if _cmod._CORRUPTION == "send-rank-off-by-one" else 1
+        hit = next_send_after(keys, r, pos_offset=off)
+        if hit is None:
+            return None, 0
+        idx, nr = hit
+        if self.cutoff is not None and nr > self.cutoff:
+            return None, 0
+        return nr, idx
+
+    # -- the round loop ----------------------------------------------------
+
+    def run(self, max_rounds: int) -> Any:
+        net = self.net
+        metrics = net.metrics
+        registry = net.registry
+        profile = _HOT.session
+        timed = registry is not None or profile is not None
+        round_hist = None if registry is None else registry.histogram(
+            "congest.round_wall_s", scale=1e-6)
+        if not net._started:
+            contexts = net.contexts
+            for v, p in enumerate(net.programs):
+                p.on_start(contexts[v])
+            net._started = True
+
+        self._load()
+        n = self.n
+        KEYS = self.KEYS
+        SENDS = self.SENDS
+        SKEYS = self.SKEYS
+        LCOL = self.LCOL
+        FCOL = self.FCOL
+        node_sends = metrics.node_sends
+        indptr = self._indptr
+        nu_pad = 2 if _cmod._CORRUPTION == "nu-off-by-one" else 1
+        pos_off = 0 if _cmod._CORRUPTION == "send-rank-off-by-one" else 1
+        cutoff = self.cutoff
+        ceil = _ceil  # hot loop: avoid attribute/global lookups
+
+        sched: List[Optional[int]] = [None] * n
+        firei: List[int] = [0] * n
+        heap: List[Tuple[int, int]] = []
+        prev_r = net._round
+        for v in range(n):
+            nr, idx = self._next_fire(KEYS[v], prev_r)
+            if nr is not None:
+                sched[v] = nr
+                firei[v] = idx
+                heap.append((nr, v))
+        heapify(heap)
+
+        msg_count = 0
+        words_total = 0
+        round_fn = self._round_numpy if self._use_np else self._round_python
+        try:
+            while True:
+                while heap and sched[heap[0][1]] != heap[0][0]:
+                    heappop(heap)  # lazily deleted (rescheduled) entry
+                if not heap:
+                    break
+                r = heap[0][0]
+                if r > max_rounds:
+                    self._flush(msg_count, words_total)
+                    msg_count = words_total = 0
+                    raise RoundLimitExceeded(
+                        f"no quiescence by round {max_rounds}; "
+                        f"next scheduled activity at round {r}",
+                        net._post_mortem("round limit exceeded",
+                                         max_rounds, list(sched)))
+                if r > prev_r + 1:
+                    metrics.skipped_rounds += r - prev_r - 1
+                prev_r = r
+                net._round = r
+                if timed:
+                    t_round = _perf()
+
+                # Step 1: collect the round's senders (ascending node id,
+                # matching the fast backend's pop order) and their
+                # payload columns.  The firing entry is the cached index;
+                # nu is two bisects (global run start + per-source rank).
+                senders: List[int] = []
+                send_d: List[int] = []
+                send_l: List[int] = []
+                send_x: List[int] = []
+                send_f: List[bool] = []
+                send_nu: List[int] = []
+                while heap and heap[0][0] == r:
+                    _, v = heappop(heap)
+                    if sched[v] != r:
+                        continue
+                    sched[v] = None
+                    keys_v = KEYS[v]
+                    i = firei[v]
+                    key = keys_v[i]
+                    x = key[2]
+                    sk = SKEYS[v][x]
+                    nu = (bisect_left(sk, key)
+                          + (i - bisect_left(keys_v, key)) + nu_pad)
+                    senders.append(v)
+                    send_d.append(key[1])
+                    send_l.append(LCOL[v][i])
+                    send_x.append(x)
+                    send_f.append(FCOL[v][i])
+                    send_nu.append(nu)
+                    SENDS[v] += 1
+
+                # Steps 2-13: expand deliveries through the CSR, fold
+                # per-destination candidates in ascending-source order.
+                total, receivers = round_fn(
+                    r, senders, send_d, send_l, send_x, send_f, send_nu)
+
+                if total:
+                    msg_count += total
+                    words_total += _PAYLOAD_WORDS * total
+                    metrics.active_rounds += 1
+                    if r > metrics.rounds:
+                        metrics.rounds = r
+                    for v in senders:
+                        if indptr[v + 1] > indptr[v]:
+                            node_sends[v] += 1
+
+                # Reschedule every touched node (senders consumed their
+                # slot; receivers' lists may have shifted positions).
+                # The bisection is _next_fire inlined -- this is the
+                # hottest loop after the arrival fold itself.
+                touched = dict.fromkeys(senders)
+                touched.update(dict.fromkeys(receivers))
+                for v in touched:
+                    keys_v = KEYS[v]
+                    nk = len(keys_v)
+                    lo, hi = 0, nk
+                    while lo < hi:
+                        mid = (lo + hi) >> 1
+                        if ceil(keys_v[mid][0] + mid + pos_off) <= r:
+                            lo = mid + 1
+                        else:
+                            hi = mid
+                    if lo == nk:
+                        nr = None
+                    else:
+                        nr = ceil(keys_v[lo][0] + lo + pos_off)
+                        if cutoff is not None and nr > cutoff:
+                            nr = None
+                    firei[v] = lo
+                    if nr != sched[v]:
+                        sched[v] = nr
+                        if nr is not None:
+                            heappush(heap, (nr, v))
+
+                if timed:
+                    dt = _perf() - t_round
+                    if round_hist is not None:
+                        round_hist.observe(dt)
+                    if profile is not None:
+                        profile.record("columnar.pipelined.round", dt)
+        finally:
+            self._store()
+            self._flush(msg_count, words_total)
+            if registry is not None:
+                from ..obs.registry import publish_run_metrics
+                net._published = publish_run_metrics(
+                    registry, metrics, state=net._published)
+        return metrics
+
+    # -- one round: delivery expansion -------------------------------------
+
+    def _round_python(self, r, senders, send_d, send_l, send_x, send_f,
+                      send_nu):
+        """CSR expansion + per-destination fold, batched pure Python (no
+        Envelope or payload objects; per-edge tallies into the flat
+        counter).  Returns ``(messages_sent, receivers)`` with
+        *receivers* ascending."""
+        indptr, heads, weights = self._indptr, self._heads, self._weights
+        wok = self._wok
+        edge_msgs = self._edge_msgs
+        gamma = self.gamma
+        total = 0
+        inboxes: Dict[int, list] = {}
+        for si, v in enumerate(senders):
+            lo, hi = indptr[v], indptr[v + 1]
+            if lo == hi:
+                continue
+            total += hi - lo
+            d_in = send_d[si]
+            l_in = send_l[si]
+            x = send_x[si]
+            nu_in = send_nu[si]
+            l_cand = l_in + 1
+            for e in range(lo, hi):
+                edge_msgs[e] += 1
+                if not wok[e]:
+                    # channel exists only for the reverse edge: message
+                    # delivered and counted, nothing to relax -- but the
+                    # receiver still runs its round hooks (stats,
+                    # reschedule), so it must appear in the inbox map.
+                    u = heads[e]
+                    if u not in inboxes:
+                        inboxes[u] = []
+                    continue
+                d_cand = d_in + weights[e]
+                u = heads[e]
+                rec = (v, d_cand, l_cand, d_cand * gamma + l_cand, x, nu_in)
+                box = inboxes.get(u)
+                if box is None:
+                    inboxes[u] = [rec]
+                else:
+                    box.append(rec)
+        receivers = sorted(inboxes)
+        arrival = self._arrival
+        for u in receivers:
+            for (y, d, l, kappa, x, nu_in) in inboxes[u]:
+                arrival(u, r, y, d, l, kappa, x, nu_in)
+            self._finish_receiver(u)
+        return total, receivers
+
+    def _round_numpy(self, r, senders, send_d, send_l, send_x, send_f,
+                     send_nu):
+        """The vectorized expansion: one CSR gather for the round's
+        whole edge batch, candidate ``(d', l', kappa')`` as three vector
+        ops, stable sort by destination, then the same sequential
+        per-destination fold on the flattened batch."""
+        np = _cmod._numpy()
+        sv = np.asarray(senders, dtype=np.int64)
+        starts = self._np_indptr[sv]
+        counts = self._np_indptr[sv + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return 0, []
+        offs = np.repeat(starts - np.concatenate(
+            ([0], np.cumsum(counts)[:-1])), counts)
+        edges = np.arange(total, dtype=np.int64) + offs
+        dsts = self._np_heads[edges]
+        self._np_edge_msgs[edges] += 1
+        # Per-message sender-slot index (into the send_* columns).
+        slots = np.repeat(np.arange(len(senders), dtype=np.int64), counts)
+        cand_d = np.asarray(send_d, dtype=np.int64)[slots] \
+            + self._np_weights[edges]
+        cand_l = np.asarray(send_l, dtype=np.int64)[slots] + 1
+        # The same multiply-add as the scalar key_of, vectorized --
+        # bit-identical for word-sized integers.
+        kappa = cand_d.astype(np.float64) * self.gamma + cand_l
+        order = np.argsort(dsts, kind="stable")
+        o_dst = dsts[order].tolist()
+        o_edge = edges[order].tolist()
+        o_slot = slots[order].tolist()
+        o_d = cand_d[order].tolist()
+        o_l = cand_l[order].tolist()
+        o_k = kappa[order].tolist()
+        wok = self._wok
+        all_wok = self._all_wok
+        arrival = self._arrival
+        finish = self._finish_receiver
+        receivers: List[int] = []
+        prev_u = -1
+        for t in range(total):
+            u = o_dst[t]
+            if u != prev_u:
+                if prev_u >= 0:
+                    finish(prev_u)
+                receivers.append(u)
+                prev_u = u
+            if all_wok or wok[o_edge[t]]:
+                slot = o_slot[t]
+                arrival(u, r, senders[slot], o_d[t], o_l[t], o_k[t],
+                        send_x[slot], send_nu[slot])
+        if prev_u >= 0:
+            finish(prev_u)
+        return total, receivers
+
+    # -- one arrival (Steps 8-13 on the columns) ---------------------------
+
+    def _arrival(self, v: int, r: int, y: int, d: int, l: int,
+                 kappa: float, x: int, nu_in: int) -> None:
+        """Fold one candidate into node *v*'s columns -- the exact
+        Steps 8-13 of the reference ``on_receive``, on columns instead
+        of Entry objects."""
+        b = self.BEST[v][x]
+        bd = b[0]
+        bl = b[1]
+        promote = False
+        if d < bd:
+            promote = True
+        elif d == bd:
+            if l < bl:
+                promote = True
+            elif l == bl:
+                bp = b[2]
+                promote = y < (-1 if bp is None else bp)
+        key = (kappa, d, x)
+        keys = self.KEYS[v]
+        skeys = self.SKEYS[v]
+        sflags = self.SFLAGS[v]
+        lcol = self.LCOL[v]
+        pcol = self.PCOL[v]
+        fcol = self.FCOL[v]
+        if promote:
+            # Steps 9-11: new flag-d* holder; inserting the SP entry
+            # does not evict by itself.
+            gi = bisect_right(keys, key)
+            keys.insert(gi, key)
+            lcol.insert(gi, l)
+            pcol.insert(gi, y)
+            fcol.insert(gi, True)
+            sk = skeys.get(x)
+            if sk is None:
+                sk = skeys[x] = []
+                sflags[x] = []
+            sf = sflags[x]
+            j = bisect_right(sk, key)
+            sk.insert(j, key)
+            sf.insert(j, True)
+            self._hist_link(v, len(sk))
+            pos = gi + 1
+            had_old = bd != _INF
+            if had_old:
+                # Demote the previous holder.  Equal sort key: the
+                # parent-id tie-break replacement -- the fully dominated
+                # twin sits *below* the newcomer and is dropped
+                # outright.  Otherwise: evict over the Invariant 2
+                # budget (0 under the "always" ablation).
+                old_key = (bd * self.gamma + bl, bd, x)
+                j0 = bisect_left(sk, old_key)
+                j1 = bisect_right(sk, old_key)
+                t_old = -1
+                for t in range(j0, j1):
+                    if sf[t] and t != j:
+                        t_old = t
+                        break
+                if t_old < 0:  # structurally impossible: SP never evicted
+                    raise AssertionError(
+                        f"columnar pipelined kernel: lost flag-d* entry "
+                        f"for source {x} at node {v}")
+                sf[t_old] = False
+                g_old = bisect_left(keys, old_key) + (t_old - j0)
+                fcol[g_old] = False
+                if old_key == key:
+                    del keys[g_old]
+                    del lcol[g_old]
+                    del pcol[g_old]
+                    del fcol[g_old]
+                    del sk[t_old]
+                    del sf[t_old]
+                    self._hist_unlink(v, len(sk) + 1)
+                else:
+                    bud = 0 if self.budget is None else self.budget
+                    if len(sk) > bud:
+                        self._evict_above(v, x, j)
+            b[0] = d
+            b[1] = l
+            b[2] = y
+            if l <= self.h:
+                self.LASTSP[v] = r
+            if r >= _ceil(kappa + pos):  # Invariant 1 (Lemma II.12)
+                self._inv1_fail(v, r, d, l, kappa, x, y, True, pos)
+        else:
+            # Step 13: non-SP quota gate, then Insert with eviction of
+            # the closest non-SP same-source entry above.
+            sk = skeys.get(x)
+            below = bisect_right(sk, key) if sk else 0
+            if below < nu_in:
+                gi = bisect_right(keys, key)
+                keys.insert(gi, key)
+                lcol.insert(gi, l)
+                pcol.insert(gi, y)
+                fcol.insert(gi, False)
+                if sk is None:
+                    sk = skeys[x] = []
+                    sflags[x] = []
+                sf = sflags[x]
+                j = bisect_right(sk, key)
+                sk.insert(j, key)
+                sf.insert(j, False)
+                self._hist_link(v, len(sk))
+                bud = self.budget
+                if bud is None or len(sk) > bud:
+                    self._evict_above(v, x, j)
+                pos = gi + 1
+                if r >= _ceil(kappa + pos):  # Invariant 1 (Lemma II.12)
+                    self._inv1_fail(v, r, d, l, kappa, x, y, False, pos)
+
+    def _evict_above(self, v: int, x: int, src_index: int) -> None:
+        """Remove the closest non-SP entry for source *x* strictly above
+        per-source index *src_index*, if any (NodeList._evict_above on
+        columns)."""
+        sk = self.SKEYS[v][x]
+        sf = self.SFLAGS[v][x]
+        for t in range(src_index + 1, len(sk)):
+            if not sf[t]:
+                key = sk[t]
+                keys = self.KEYS[v]
+                g = bisect_left(keys, key) + (t - bisect_left(sk, key))
+                del keys[g]
+                del self.LCOL[v][g]
+                del self.PCOL[v][g]
+                del self.FCOL[v][g]
+                del sk[t]
+                del sf[t]
+                self._hist_unlink(v, len(sk) + 1)
+                return
+
+    def _inv1_fail(self, v: int, r: int, d: int, l: int, kappa: float,
+                   x: int, parent: int, flag_sp: bool, pos: int) -> None:
+        """Raise the Invariant 1 (Lemma II.12) violation with the
+        reference's exact message (the Entry repr is reproduced from the
+        columns).  Callers inline the ``r >= ceil(kappa + pos)`` check
+        so the happy path pays no call."""
+        star = "*" if flag_sp else ""
+        raise AssertionError(
+            f"Invariant 1 violated at node {v}, round {r}: "
+            f"inserted Entry(k={kappa:.3f}, d={d}, l={l}, "
+            f"x={x}{star}, p={parent}) at pos {pos} "
+            f"with ceil(kappa+pos)={_ceil(kappa + pos)}")
+
+    def _finish_receiver(self, v: int) -> None:
+        """Per-receiver round epilogue: the O(1) stats the reference
+        updates at the end of every ``on_receive``."""
+        ln = len(self.KEYS[v])
+        if ln > self.MAXLEN[v]:
+            self.MAXLEN[v] = ln
+        cm = self.CMAX[v]
+        if cm > self.MAXSRC[v]:
+            self.MAXSRC[v] = cm
+
+
+# Self-registration (see the note at the end of repro/perf/columnar.py).
+_cmod.COLUMNAR_KERNELS.append(_PipelinedKernel)
+
+__all__ = ["_PipelinedKernel"]

@@ -289,6 +289,8 @@ EXPERIMENT_SWEEPS: Dict[str, SweepSpec] = {
                      seed_splittable=False),  # wall-clock timing: one task
     "E23": SweepSpec("repro.analysis.sweep:sweep_columnar",
                      seed_splittable=False),  # wall-clock timing: one task
+    "E24": SweepSpec("repro.analysis.sweep:sweep_columnar_pipelined",
+                     seed_splittable=False),  # wall-clock timing: one task
 }
 
 

@@ -278,12 +278,14 @@ def test_composite_fault_differential(backend, data):
 # --- resumption conformance: interrupt, post-mortem, resume ----------
 
 
-def _run_resumed(network_cls, g, source, budgets):
+def _run_resumed(network_cls, g, source, budgets, factory=None):
     """Drive one network through a ``run`` per budget (absolute round
     numbers, reference resumption contract), capturing each leg's
     outcome -- including the round-limit post-mortem -- and the final
     state."""
-    net = network_cls(g, lambda v: BellmanFordProgram(v, source))
+    if factory is None:
+        factory = lambda v: BellmanFordProgram(v, source)
+    net = network_cls(g, factory)
     legs = []
     for budget in budgets:
         try:
@@ -520,10 +522,53 @@ def test_columnar_bulk_implementations_agree(columnar_impl):
     assert got == ref
 
 
+def test_columnar_pipelined_bulk_implementations_agree(columnar_impl):
+    """The pipelined bulk kernel matches the reference under the forced
+    implementation (numpy or pure-Python) -- entry point and
+    resumption, both list kernels' state rebuilt in place."""
+    g = random_graph(14, p=0.35, w_max=6, zero_fraction=0.3, seed=7,
+                     directed=True)
+    assert_entrypoint_equivalent(run_hk_ssp, g, [0, 4, 9], 5,
+                                 compare=("dist", "sources", "delta"),
+                                 backend="columnar")
+    factory = lambda v: PipelinedSSPProgram(v, (0, 4, 9), h=5, gamma=1.5)
+    ref = _run_resumed(Network, g, 0, (5, 10 ** 5), factory=factory)
+    got = _run_resumed(ColumnarNetwork, g, 0, (5, 10 ** 5), factory=factory)
+    assert got == ref
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_columnar_pipelined_numpy_python_agree(data):
+    """REPRO_COLUMNAR_NUMPY agreement corpus for the pipelined kernel:
+    the numpy and pure-Python bulk implementations produce identical
+    executions (outputs AND full metrics) on the Hypothesis graph
+    strategy -- so implementation selection can never change an
+    observable."""
+    if columnar_mod._numpy() is None:
+        pytest.skip("numpy not importable")
+    g = data.draw(small_graphs)
+    n = g.n
+    sources = sorted(data.draw(st.sets(st.integers(0, n - 1),
+                                       min_size=1, max_size=min(n, 4))))
+    h = data.draw(st.integers(1, max(1, n - 1)))
+    runs = {}
+    for use_np in (True, False):
+        prev = columnar_mod.set_numpy_enabled(use_np)
+        try:
+            res = run_hk_ssp(g, sources, h, backend="columnar")
+        finally:
+            columnar_mod.set_numpy_enabled(prev)
+        runs[use_np] = (res.dist, res.sources, res.delta,
+                        metrics_summary(res.metrics))
+    assert runs[True] == runs[False]
+
+
 def test_columnar_bulk_path_engaged():
     """Guard against the columnar backend silently running everything
-    on the inherited loop: the relaxation family takes the bulk kernel,
-    hooked runs and non-relaxation programs do not."""
+    on the inherited loop: the relaxation family AND the pipelined
+    (h, k)-SSP family take their bulk kernels; hooked runs,
+    instrumented programs, and mixed-parameter networks do not."""
     g = path_graph(4, w=2)
     bf = lambda v: BellmanFordProgram(v, 0)
     assert ColumnarNetwork(g, bf)._columnar_kernel() is not None
@@ -532,11 +577,61 @@ def test_columnar_bulk_path_engaged():
     assert ColumnarNetwork(
         g, bf, fault_plan=FaultPlan(seed=1, drop_rate=0.5),
     )._columnar_kernel() is None
-    pipelined = lambda v: PipelinedSSPProgram(v, (0,), h=3, gamma=1.0)
-    assert ColumnarNetwork(g, pipelined)._columnar_kernel() is None
     # Mixed hop caps break the single-wavefront cutoff; fall back.
     mixed = lambda v: BellmanFordProgram(v, 0, max_hops=v + 1)
     assert ColumnarNetwork(g, mixed)._columnar_kernel() is None
+
+    # The pipelined family is bulk-eligible since the columnar_pipelined
+    # kernel landed...
+    pipelined = lambda v: PipelinedSSPProgram(v, (0,), h=3, gamma=1.0)
+    assert ColumnarNetwork(g, pipelined)._columnar_kernel() is not None
+    # ...but network hooks and per-program instrumentation still take
+    # the generic loop:
+    assert ColumnarNetwork(
+        g, pipelined, tracer=Tracer())._columnar_kernel() is None
+    recorded = lambda v: PipelinedSSPProgram(v, (0,), h=3, gamma=1.0,
+                                             record_sends=True)
+    assert ColumnarNetwork(g, recorded)._columnar_kernel() is None
+    mixed_h = lambda v: PipelinedSSPProgram(v, (0,), h=3 if v else 2,
+                                            gamma=1.0)
+    assert ColumnarNetwork(g, mixed_h)._columnar_kernel() is None
+    # Paranoid mode is a *dynamic* condition: the memoized kernel steps
+    # aside while it is on and returns when it is off.
+    from repro.core.node_list import set_paranoid
+    net = ColumnarNetwork(g, pipelined)
+    assert net._columnar_kernel() is not None
+    prev = set_paranoid(True)
+    try:
+        assert net._columnar_kernel() is None
+    finally:
+        set_paranoid(prev)
+    assert net._columnar_kernel() is not None
+
+
+def test_columnar_eligibility_scan_memoized():
+    """The O(n + m) eligibility scan runs once per network, not once
+    per ``run()`` entry: re-entries after a round limit, resumption
+    legs, and re-running a quiescent network all reuse the memoized
+    verdict (positive or negative)."""
+    g = random_graph(12, p=0.4, w_max=5, seed=2, directed=True)
+
+    def drive(factory):
+        net = ColumnarNetwork(g, factory)
+        assert net._eligibility_scans == 0
+        with pytest.raises(RoundLimitExceeded):
+            net.run(max_rounds=1)
+        net.run(max_rounds=10 ** 5)   # resume to quiescence
+        net.run(max_rounds=10 ** 5)   # re-run the quiescent network
+        return net._eligibility_scans
+
+    assert drive(lambda v: BellmanFordProgram(v, 0)) == 1
+    assert drive(
+        lambda v: PipelinedSSPProgram(v, (0, 3), h=4, gamma=1.25)) == 1
+    # A negative verdict is memoized too (the generic loop still runs).
+    net = ColumnarNetwork(g, ScheduledMute)
+    net.run(max_rounds=10)
+    net.run(max_rounds=10)
+    assert net._eligibility_scans == 1
 
 
 def test_columnar_numpy_flag_validation(monkeypatch):
@@ -545,6 +640,13 @@ def test_columnar_numpy_flag_validation(monkeypatch):
         columnar_mod.numpy_enabled()
     monkeypatch.setenv("REPRO_COLUMNAR_NUMPY", "0")
     assert columnar_mod.numpy_enabled() is False
+
+
+#: Which corruption mode perturbs which bulk kernel (the partition test
+#: below keeps these in sync with the registry, so a future mode cannot
+#: silently go mutation-untested).
+_BF_CORRUPTION_MODES = ("evict-off-by-one", "stale-count")
+_PIPELINED_CORRUPTION_MODES = ("send-rank-off-by-one", "nu-off-by-one")
 
 
 class TestConformanceCatchesCorruption:
@@ -559,7 +661,24 @@ class TestConformanceCatchesCorruption:
         # corruption modes perturb observables immediately.
         return path_graph(6, w=2)
 
-    @pytest.mark.parametrize("mode", columnar_mod.CORRUPTION_MODES)
+    def _pipelined_corpus(self):
+        """Deterministic replays of the Hypothesis pipelined strategy
+        (multi-source random graphs with zero-weight edges, plus the
+        canonical path): instances on which both pipelined corruption
+        modes provably perturb the execution."""
+        return [
+            (random_graph(12, p=0.4, w_max=5, zero_fraction=0.2, seed=0),
+             [0, 3, 5], 5),
+            (random_graph(12, p=0.4, w_max=5, zero_fraction=0.2, seed=9),
+             [0, 3, 5], 5),
+            (path_graph(6, w=2), [0], 3),
+        ]
+
+    def test_modes_partition_the_registry(self):
+        assert sorted(_BF_CORRUPTION_MODES + _PIPELINED_CORRUPTION_MODES) \
+            == sorted(columnar_mod.CORRUPTION_MODES)
+
+    @pytest.mark.parametrize("mode", _BF_CORRUPTION_MODES)
     def test_corrupted_round_is_caught(self, mode, columnar_impl):
         prev = columnar_mod.set_corruption(mode)
         try:
@@ -571,12 +690,33 @@ class TestConformanceCatchesCorruption:
         finally:
             columnar_mod.set_corruption(prev)
 
+    @pytest.mark.parametrize("mode", _PIPELINED_CORRUPTION_MODES)
+    def test_corrupted_pipelined_round_is_caught(self, mode, columnar_impl):
+        """A corrupted send-schedule rank (entries firing a round early)
+        and a corrupted nu-count (one entry of padding too many) must
+        both be caught on *every* corpus instance."""
+        prev = columnar_mod.set_corruption(mode)
+        try:
+            for g, srcs, h in self._pipelined_corpus():
+                with pytest.raises(AssertionError,
+                                   match="columnar backend diverged"):
+                    assert_entrypoint_equivalent(
+                        run_hk_ssp, g, srcs, h,
+                        compare=("dist", "sources", "delta"),
+                        backend="columnar")
+        finally:
+            columnar_mod.set_corruption(prev)
+
     def test_uncorrupted_control(self, columnar_impl):
-        """The same check passes with corruption off -- the mutation
+        """The same checks pass with corruption off -- the mutation
         tests above cannot be passing vacuously."""
         assert_entrypoint_equivalent(
             run_bellman_ford, self._graph(), 0,
             compare=("dist", "hops", "parent"), backend="columnar")
+        for g, srcs, h in self._pipelined_corpus():
+            assert_entrypoint_equivalent(
+                run_hk_ssp, g, srcs, h,
+                compare=("dist", "sources", "delta"), backend="columnar")
 
     def test_unknown_corruption_mode_rejected(self):
         with pytest.raises(ValueError, match="unknown corruption mode"):
